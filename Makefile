@@ -1,0 +1,47 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short bench fuzz experiments examples cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One testing.B benchmark per paper table/figure plus the package micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing passes over the three fuzz targets.
+fuzz:
+	$(GO) test ./internal/poly -fuzz FuzzQuartic -fuzztime 30s
+	$(GO) test ./internal/dominance -fuzz FuzzHyperbolaVsExact2D -fuzztime 30s
+	$(GO) test ./internal/sstree -fuzz FuzzTreeOps -fuzztime 30s
+
+# Regenerate the paper's figures at a moderate scale.
+experiments:
+	$(GO) run ./cmd/dombench -scale 0.2 -timing 100ms
+	$(GO) run ./cmd/knnbench -scale 0.05
+	$(GO) run ./cmd/knnbench -fig 17 -scale 0.05
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/uncertain_gis
+	$(GO) run ./examples/image_retrieval
+	$(GO) run ./examples/rknn_pruning
+	$(GO) run ./examples/moving_objects
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -20
+
+clean:
+	rm -f cover.out

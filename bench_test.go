@@ -1,0 +1,242 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (Section 7).
+//
+//	Table 1    -> BenchmarkTable1   (criterion cost at the default setting,
+//	                                 with precision/recall reported)
+//	Figure 8   -> BenchmarkFig08    (μ sweep, NBA)
+//	Figure 9   -> BenchmarkFig09    (d sweep, synthetic)
+//	Figure 10  -> BenchmarkFig10    (real datasets)
+//	Figure 11  -> BenchmarkFig11    (high-d sweep)
+//	Figure 12  -> BenchmarkFig12    (distribution combinations)
+//	Figure 13  -> BenchmarkFig13    (kNN, μ sweep)
+//	Figure 14  -> BenchmarkFig14    (kNN, k sweep)
+//	Figure 15  -> BenchmarkFig15    (kNN, N sweep)
+//	Figure 16  -> BenchmarkFig16    (kNN, d sweep)
+//
+// Each sub-benchmark is one point of the figure: ns/op is the paper's
+// execution-time axis, and the precision/recall (dominance figures) or
+// precision (kNN figures) axes are attached as custom metrics. Dataset
+// sizes are scaled down from the paper's (see the constants below) so the
+// whole harness completes in minutes; cmd/dombench and cmd/knnbench run the
+// same sweeps at arbitrary scale.
+package hyperdom_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hyperdom/internal/dataset"
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/experiments"
+	"hyperdom/internal/geom"
+	"hyperdom/internal/knn"
+	"hyperdom/internal/sstree"
+	"hyperdom/internal/workload"
+)
+
+const (
+	benchDomDataN  = 4000 // spheres per dominance dataset (paper: 100k)
+	benchWorkloadN = 2000 // dominance queries per point (paper: 10k)
+	benchKnnDataN  = 4000 // spheres per kNN dataset (paper: 100k)
+	benchKnnQ      = 8    // kNN queries per measurement batch
+	benchSeed      = 1
+)
+
+// benchCriterion runs one dominance sub-benchmark point: ns/op over the
+// workload plus precision/recall metrics vs the Hyperbola ground truth.
+func benchCriterion(b *testing.B, crit dominance.Criterion, w []workload.Triple) {
+	b.Helper()
+	truth := workload.Verdicts(dominance.Hyperbola{}, w)
+	acc := workload.Compare(workload.Verdicts(crit, w), truth)
+	b.ResetTimer()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		t := w[i%len(w)]
+		sink = crit.Dominates(t.A, t.B, t.Q) != sink
+	}
+	_ = sink
+	b.StopTimer()
+	// ReportMetric must come after ResetTimer, which clears extra metrics.
+	b.ReportMetric(acc.Precision()*100, "precision%")
+	b.ReportMetric(acc.Recall()*100, "recall%")
+}
+
+func domBenchSweep(b *testing.B, label string, items []geom.Item) {
+	w := workload.Dominance(items, benchWorkloadN, benchSeed)
+	for _, crit := range dominance.All() {
+		crit := crit
+		b.Run(fmt.Sprintf("%s/%s", label, crit.Name()), func(b *testing.B) {
+			benchCriterion(b, crit, w)
+		})
+	}
+}
+
+// BenchmarkTable1 measures the five criteria at the default synthetic
+// setting (d=6, μ=50), attaching precision/recall — the empirical Table 1.
+func BenchmarkTable1(b *testing.B) {
+	ps := dataset.SyntheticCenters(benchDomDataN, experiments.DefaultDim, dataset.Gaussian, benchSeed)
+	items := dataset.Spheres(ps, dataset.GaussianRadii(experiments.DefaultRadius), benchSeed)
+	domBenchSweep(b, "default", items)
+}
+
+// BenchmarkFig08 — effects of the average radius μ on (simulated) NBA.
+func BenchmarkFig08(b *testing.B) {
+	nba := dataset.NBA().Sample(benchDomDataN, benchSeed)
+	for _, mu := range experiments.RadiusSweep {
+		items := dataset.Spheres(nba, dataset.GaussianRadii(mu), benchSeed)
+		domBenchSweep(b, fmt.Sprintf("mu=%g", mu), items)
+	}
+}
+
+// BenchmarkFig09 — effects of the dimensionality d (synthetic).
+func BenchmarkFig09(b *testing.B) {
+	for _, d := range experiments.DimSweep {
+		ps := dataset.SyntheticCenters(benchDomDataN, d, dataset.Gaussian, benchSeed)
+		items := dataset.Spheres(ps, dataset.GaussianRadii(experiments.DefaultRadius), benchSeed)
+		domBenchSweep(b, fmt.Sprintf("d=%d", d), items)
+	}
+}
+
+// BenchmarkFig10 — the four real datasets.
+func BenchmarkFig10(b *testing.B) {
+	for _, ps := range dataset.Real() {
+		sample := ps.Sample(benchDomDataN, benchSeed)
+		items := dataset.Spheres(sample, dataset.GaussianRadii(experiments.DefaultRadius), benchSeed)
+		domBenchSweep(b, ps.Name, items)
+	}
+}
+
+// BenchmarkFig11 — execution time in high-dimensional space.
+func BenchmarkFig11(b *testing.B) {
+	for _, d := range experiments.HighDimSweep {
+		ps := dataset.SyntheticCenters(benchDomDataN, d, dataset.Gaussian, benchSeed)
+		items := dataset.Spheres(ps, dataset.GaussianRadii(experiments.DefaultRadius), benchSeed)
+		domBenchSweep(b, fmt.Sprintf("d=%d", d), items)
+	}
+}
+
+// BenchmarkFig12 — center/radius distribution combinations.
+func BenchmarkFig12(b *testing.B) {
+	combos := []struct {
+		label   string
+		centers dataset.Distribution
+		radii   dataset.RadiusSpec
+	}{
+		{"G-G", dataset.Gaussian, dataset.GaussianRadii(experiments.DefaultRadius)},
+		{"G-U", dataset.Gaussian, dataset.UniformRadii(0, 200)},
+		{"U-G", dataset.Uniform, dataset.GaussianRadii(experiments.DefaultRadius)},
+		{"U-U", dataset.Uniform, dataset.UniformRadii(0, 200)},
+	}
+	for _, combo := range combos {
+		ps := dataset.SyntheticCenters(benchDomDataN, experiments.DefaultDim, combo.centers, benchSeed)
+		items := dataset.Spheres(ps, combo.radii, benchSeed)
+		domBenchSweep(b, combo.label, items)
+	}
+}
+
+// knnBenchPoint runs one kNN sub-benchmark point: per-query wall time with
+// the precision metric attached.
+func knnBenchPoint(b *testing.B, items []geom.Item, queries []geom.Sphere, k int) {
+	dim := items[0].Sphere.Dim()
+	tree := sstree.New(dim)
+	for _, it := range items {
+		tree.Insert(it)
+	}
+	idx := knn.WrapSSTree(tree)
+
+	truths := make([]map[int]bool, len(queries))
+	for i, q := range queries {
+		m := map[int]bool{}
+		for _, it := range knn.BruteForce(items, q, k, dominance.Hyperbola{}).Items {
+			m[it.ID] = true
+		}
+		truths[i] = m
+	}
+
+	for _, v := range experiments.KnnVariants() {
+		v := v
+		b.Run(v.Name(), func(b *testing.B) {
+			var correct, returned int
+			for i, q := range queries {
+				res := knn.Search(idx, q, k, v.Crit, v.Algo)
+				returned += len(res.Items)
+				for _, it := range res.Items {
+					if truths[i][it.ID] {
+						correct++
+					}
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				res := knn.Search(idx, q, k, v.Crit, v.Algo)
+				if len(res.Items) < 0 {
+					b.Fatal("impossible")
+				}
+			}
+			b.StopTimer()
+			if returned > 0 {
+				b.ReportMetric(float64(correct)/float64(returned)*100, "precision%")
+			}
+		})
+	}
+}
+
+func knnQueries(n, dim int, mu float64) []geom.Sphere {
+	ps := dataset.SyntheticCenters(n, dim, dataset.Gaussian, benchSeed+77)
+	items := dataset.Spheres(ps, dataset.GaussianRadii(mu), benchSeed+78)
+	out := make([]geom.Sphere, n)
+	for i, it := range items {
+		out[i] = it.Sphere
+	}
+	return out
+}
+
+// BenchmarkFig13 — kNN, μ sweep.
+func BenchmarkFig13(b *testing.B) {
+	for _, mu := range experiments.RadiusSweep {
+		ps := dataset.SyntheticCenters(benchKnnDataN, experiments.DefaultDim, dataset.Gaussian, benchSeed)
+		items := dataset.Spheres(ps, dataset.GaussianRadii(mu), benchSeed)
+		queries := knnQueries(benchKnnQ, experiments.DefaultDim, mu)
+		b.Run(fmt.Sprintf("mu=%g", mu), func(b *testing.B) {
+			knnBenchPoint(b, items, queries, experiments.DefaultK)
+		})
+	}
+}
+
+// BenchmarkFig14 — kNN, k sweep.
+func BenchmarkFig14(b *testing.B) {
+	ps := dataset.SyntheticCenters(benchKnnDataN, experiments.DefaultDim, dataset.Gaussian, benchSeed)
+	items := dataset.Spheres(ps, dataset.GaussianRadii(experiments.DefaultRadius), benchSeed)
+	queries := knnQueries(benchKnnQ, experiments.DefaultDim, experiments.DefaultRadius)
+	for _, k := range experiments.KSweep {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			knnBenchPoint(b, items, queries, k)
+		})
+	}
+}
+
+// BenchmarkFig15 — kNN, data size sweep (scaled to 1/25 of the paper's).
+func BenchmarkFig15(b *testing.B) {
+	for _, base := range experiments.SizeSweep {
+		n := base / 25
+		ps := dataset.SyntheticCenters(n, experiments.DefaultDim, dataset.Gaussian, benchSeed)
+		items := dataset.Spheres(ps, dataset.GaussianRadii(experiments.DefaultRadius), benchSeed)
+		queries := knnQueries(benchKnnQ, experiments.DefaultDim, experiments.DefaultRadius)
+		b.Run(fmt.Sprintf("N=%dk", base/1000), func(b *testing.B) {
+			knnBenchPoint(b, items, queries, experiments.DefaultK)
+		})
+	}
+}
+
+// BenchmarkFig16 — kNN, dimensionality sweep.
+func BenchmarkFig16(b *testing.B) {
+	for _, d := range experiments.DimSweep {
+		ps := dataset.SyntheticCenters(benchKnnDataN, d, dataset.Gaussian, benchSeed)
+		items := dataset.Spheres(ps, dataset.GaussianRadii(experiments.DefaultRadius), benchSeed)
+		queries := knnQueries(benchKnnQ, d, experiments.DefaultRadius)
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			knnBenchPoint(b, items, queries, experiments.DefaultK)
+		})
+	}
+}

@@ -1,0 +1,93 @@
+// Command datagen writes the evaluation datasets to CSV so they can be
+// inspected or consumed by external tooling. Each output row is
+// "id,radius,c1,c2,…,cd".
+//
+// Usage:
+//
+//	datagen -dataset NAME [-n N] [-d D] [-mu MU] [-seed S] [-o FILE]
+//
+//	-dataset  synthetic | nba | color | texture | forest (default synthetic)
+//	-n        synthetic only: number of spheres (default 100000)
+//	-d        synthetic only: dimensionality (default 6)
+//	-dist     synthetic only: center distribution, G or U (default G)
+//	-mu       average radius μ; radii ~ N(μ, μ/4) clamped at 0 (default 50)
+//	-seed     RNG seed (default 1)
+//	-o        output file (default stdout)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hyperdom/internal/dataset"
+)
+
+func main() {
+	name := flag.String("dataset", "synthetic", "dataset: synthetic|nba|color|texture|forest")
+	n := flag.Int("n", 100000, "synthetic: number of spheres")
+	d := flag.Int("d", 6, "synthetic: dimensionality")
+	dist := flag.String("dist", "G", "synthetic: center distribution (G or U)")
+	mu := flag.Float64("mu", 50, "average radius")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	ps, err := buildPointSet(*name, *n, *d, *dist, *seed)
+	if err != nil {
+		fatal("%v", err)
+	}
+	items := dataset.Spheres(ps, dataset.GaussianRadii(*mu), *seed+1)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("creating %s: %v", *out, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal("closing %s: %v", *out, err)
+			}
+		}()
+		w = f
+	}
+	if err := dataset.WriteCSV(w, items); err != nil {
+		fatal("writing: %v", err)
+	}
+}
+
+// buildPointSet resolves the -dataset/-n/-d/-dist flags into a point set.
+func buildPointSet(name string, n, d int, dist string, seed int64) (dataset.PointSet, error) {
+	switch name {
+	case "synthetic":
+		var cd dataset.Distribution
+		switch dist {
+		case "G":
+			cd = dataset.Gaussian
+		case "U":
+			cd = dataset.Uniform
+		default:
+			return dataset.PointSet{}, fmt.Errorf("unknown distribution %q (want G or U)", dist)
+		}
+		if n <= 0 || d <= 0 {
+			return dataset.PointSet{}, fmt.Errorf("invalid synthetic shape n=%d d=%d", n, d)
+		}
+		return dataset.SyntheticCenters(n, d, cd, seed), nil
+	case "nba":
+		return dataset.NBA(), nil
+	case "color":
+		return dataset.Color(), nil
+	case "texture":
+		return dataset.Texture(), nil
+	case "forest":
+		return dataset.Forest(), nil
+	}
+	return dataset.PointSet{}, fmt.Errorf("unknown dataset %q", name)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", args...)
+	os.Exit(2)
+}

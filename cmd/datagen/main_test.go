@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hyperdom/internal/dataset"
+)
+
+func TestBuildPointSet(t *testing.T) {
+	ps, err := buildPointSet("synthetic", 100, 3, "G", 1)
+	if err != nil {
+		t.Fatalf("synthetic: %v", err)
+	}
+	if len(ps.Points) != 100 || ps.Dim != 3 {
+		t.Errorf("synthetic shape %d × %dd", len(ps.Points), ps.Dim)
+	}
+	if _, err := buildPointSet("synthetic", 100, 3, "X", 1); err == nil {
+		t.Error("bad distribution accepted")
+	}
+	if _, err := buildPointSet("synthetic", 0, 3, "G", 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := buildPointSet("mars", 1, 1, "G", 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	for _, name := range []string{"nba", "color", "texture", "forest"} {
+		if _, err := buildPointSet(name, 0, 0, "", 0); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	ps, _ := buildPointSet("synthetic", 50, 4, "U", 7)
+	items := dataset.Spheres(ps, dataset.GaussianRadii(10), 8)
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, items); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 50 {
+		t.Fatalf("got %d lines, want 50", len(lines))
+	}
+	for i, line := range lines {
+		fields := strings.Split(line, ",")
+		if len(fields) != 2+4 {
+			t.Fatalf("line %d has %d fields, want 6", i, len(fields))
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil || id != i {
+			t.Fatalf("line %d: id field %q", i, fields[0])
+		}
+		r, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || r != items[i].Sphere.Radius {
+			t.Fatalf("line %d: radius %q does not round-trip", i, fields[1])
+		}
+		for j := 0; j < 4; j++ {
+			c, err := strconv.ParseFloat(fields[2+j], 64)
+			if err != nil || c != items[i].Sphere.Center[j] {
+				t.Fatalf("line %d: coordinate %d does not round-trip", i, j)
+			}
+		}
+	}
+}

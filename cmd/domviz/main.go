@@ -1,0 +1,105 @@
+// Command domviz renders a 2-D dominance instance as SVG — the picture of
+// the paper's Figures 1 and 6: the three spheres and the hyperbola
+// boundary of the region Ra, captioned with the optimal verdict.
+//
+// Input is the same JSON as cmd/domquery:
+//
+//	{
+//	  "sa": {"center": [0, 0], "radius": 1},
+//	  "sb": {"center": [9, 0], "radius": 1},
+//	  "sq": {"center": [-4, 0], "radius": 2}
+//	}
+//
+// Usage:
+//
+//	domviz [-in FILE] [-o FILE] [-width N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hyperdom"
+	"hyperdom/internal/viz"
+)
+
+type sphereJSON struct {
+	Center []float64 `json:"center"`
+	Radius float64   `json:"radius"`
+}
+
+type queryJSON struct {
+	Sa sphereJSON `json:"sa"`
+	Sb sphereJSON `json:"sb"`
+	Sq sphereJSON `json:"sq"`
+}
+
+func main() {
+	in := flag.String("in", "", "input file (default stdin)")
+	out := flag.String("o", "", "output file (default stdout)")
+	width := flag.Int("width", 640, "SVG width in pixels")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal("opening %s: %v", *in, err)
+		}
+		defer f.Close()
+		r = f
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("creating %s: %v", *out, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal("closing %s: %v", *out, err)
+			}
+		}()
+		w = f
+	}
+	if err := run(r, w, *width); err != nil {
+		fatal("%v", err)
+	}
+}
+
+// run decodes one instance from r and writes its SVG rendering to w.
+func run(r io.Reader, w io.Writer, width int) error {
+	var q queryJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		return fmt.Errorf("decoding query: %w", err)
+	}
+	for _, s := range []sphereJSON{q.Sa, q.Sb, q.Sq} {
+		if len(s.Center) != 2 {
+			return fmt.Errorf("domviz renders 2-dimensional instances only")
+		}
+		if s.Radius < 0 {
+			return fmt.Errorf("radius must be non-negative")
+		}
+	}
+	svg, err := viz.RenderSVG(
+		hyperdom.NewSphere(q.Sa.Center, q.Sa.Radius),
+		hyperdom.NewSphere(q.Sb.Center, q.Sb.Radius),
+		hyperdom.NewSphere(q.Sq.Center, q.Sq.Radius),
+		viz.Options{Width: width},
+	)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, svg)
+	return err
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "domviz: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunRendersSVG(t *testing.T) {
+	input := `{"sa":{"center":[0,0],"radius":1},"sb":{"center":[9,0],"radius":1},"sq":{"center":[-4,0],"radius":2}}`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(input), &out, 320); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	svg := out.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("output is not an SVG document")
+	}
+	if !strings.Contains(svg, `width="320"`) {
+		t.Error("width flag not honoured")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"3d":         `{"sa":{"center":[0,0,0],"radius":1},"sb":{"center":[9,0,0],"radius":1},"sq":{"center":[-4,0,0],"radius":2}}`,
+		"negative r": `{"sa":{"center":[0,0],"radius":-1},"sb":{"center":[9,0],"radius":1},"sq":{"center":[-4,0],"radius":2}}`,
+		"garbage":    `nope`,
+	}
+	for name, input := range cases {
+		var out bytes.Buffer
+		if err := run(strings.NewReader(input), &out, 100); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

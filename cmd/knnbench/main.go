@@ -1,0 +1,57 @@
+// Command knnbench regenerates the kNN figures of the paper (Figures
+// 13–16): query time and precision of the eight algorithm variants
+// {HS, DF} × {Hyper, MinMax, MBR, GP} over an SS-tree.
+//
+// Usage:
+//
+//	knnbench [-fig N] [-scale S] [-seed N]
+//
+//	-fig    figure to run: 13, 14, 15, 16, or 0 for all (default 0);
+//	        17 runs the index-comparison extension experiment
+//	-scale  dataset/query scale relative to the paper's (default 0.02;
+//	        1.0 reproduces the full cardinalities — budget hours)
+//	-seed   RNG seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperdom/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to run (13-16, 0 = all)")
+	scale := flag.Float64("scale", 0.02, "workload scale relative to the paper")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	if *fig == 17 {
+		fmt.Println(experiments.RunIndexComparison(cfg).Table().Render())
+		return
+	}
+	runners := map[int]func(experiments.Config) experiments.KnnResult{
+		13: experiments.Fig13,
+		14: experiments.Fig14,
+		15: experiments.Fig15,
+		16: experiments.Fig16,
+	}
+	order := []int{13, 14, 15, 16}
+
+	selected := order
+	if *fig != 0 {
+		if _, ok := runners[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "knnbench: unknown figure %d (want 13-16)\n", *fig)
+			os.Exit(2)
+		}
+		selected = []int{*fig}
+	}
+
+	for _, f := range selected {
+		res := runners[f](cfg)
+		fmt.Println(res.TimeTable().Render())
+		fmt.Println(res.PrecisionTable().Render())
+	}
+}

@@ -1,0 +1,92 @@
+package hyperdom_test
+
+import (
+	"fmt"
+
+	"hyperdom"
+)
+
+// The basic dominance decision: can object B ever be closer to the query
+// than object A?
+func ExampleDominates() {
+	sa := hyperdom.NewSphere([]float64{0, 0}, 1)
+	sb := hyperdom.NewSphere([]float64{9, 0}, 1)
+	sq := hyperdom.NewSphere([]float64{-4, 0}, 2)
+	fmt.Println(hyperdom.Dominates(sa, sb, sq))
+	fmt.Println(hyperdom.Dominates(sb, sa, sq))
+	// Output:
+	// true
+	// false
+}
+
+// Comparing all five criteria of the paper's Table 1 on one instance.
+func ExampleCriteria() {
+	sa := hyperdom.NewSphere([]float64{0, 0}, 1)
+	sb := hyperdom.NewSphere([]float64{6, 0}, 1)
+	sq := hyperdom.NewSphere([]float64{-1, 0}, 3.5)
+	for _, c := range hyperdom.Criteria() {
+		fmt.Printf("%s: correct=%v sound=%v verdict=%v\n",
+			c.Name(), c.Correct(), c.Sound(), c.Dominates(sa, sb, sq))
+	}
+	// Output:
+	// MinMax: correct=true sound=false verdict=false
+	// MBR: correct=true sound=false verdict=false
+	// GP: correct=true sound=false verdict=false
+	// Trigonometric: correct=false sound=true verdict=false
+	// Hyperbola: correct=true sound=true verdict=false
+}
+
+// A witness point certifies non-dominance.
+func ExampleFindWitness() {
+	sa := hyperdom.NewSphere([]float64{0, 0}, 1)
+	sb := hyperdom.NewSphere([]float64{6, 0}, 1)
+	sq := hyperdom.NewSphere([]float64{-1, 0}, 3.5)
+	w := hyperdom.FindWitness(sa, sb, sq, 0)
+	fmt.Println(w != nil && w.Margin <= 0)
+	// Output:
+	// true
+}
+
+// Index-backed kNN: every object that could be among the k nearest.
+func ExampleKNN() {
+	tree := hyperdom.NewSSTree(1, 0)
+	for i, x := range []float64{1, 2, 3, 50, 60} {
+		tree.Insert(hyperdom.Item{
+			Sphere: hyperdom.NewSphere([]float64{x}, 0.5),
+			ID:     i,
+		})
+	}
+	query := hyperdom.NewSphere([]float64{0}, 0.5)
+	res := hyperdom.KNN(tree, query, 2, hyperdom.Hyperbola(), hyperdom.BestFirst)
+	fmt.Println(res.IDs())
+	// Output:
+	// [0 1 2]
+}
+
+// How long a pruning decision survives growing uncertainty.
+func ExampleDominanceHorizon() {
+	sa := hyperdom.NewSphere([]float64{-1, 0}, 0) // point objects:
+	sb := hyperdom.NewSphere([]float64{1, 0}, 0)  // boundary is the plane x = 0
+	sq := hyperdom.NewSphere([]float64{-5, 0}, 1) // dmin = 5, slack = 4
+	// Only the query radius grows, 2 units per time step.
+	fmt.Printf("%.1f\n", hyperdom.DominanceHorizon(sa, sb, sq, 0, 0, 2, 100))
+	// Output:
+	// 2.0
+}
+
+// The ranks an uncertain object can take among its peers.
+func ExampleInverseRank() {
+	var items []hyperdom.Item
+	for i, x := range []float64{1, 2, 4, 8} {
+		items = append(items, hyperdom.Item{
+			Sphere: hyperdom.NewSphere([]float64{x, 0}, 0),
+			ID:     i,
+		})
+	}
+	anchor := hyperdom.NewSphere([]float64{0, 0}, 0)
+	query := hyperdom.NewSphere([]float64{3, 0}, 1.5)
+	res := hyperdom.InverseRank(items, query, anchor, hyperdom.Exact())
+	fmt.Println(res.Ranks)
+	// Output:
+	// [2, 4]
+}

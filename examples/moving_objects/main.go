@@ -1,0 +1,66 @@
+// Moving objects: how long does a pruning decision stay valid?
+//
+// In moving-object databases a position fix ages: if a vehicle was at p
+// with error r when last heard from, after t seconds it is somewhere in a
+// sphere of radius r + v·t (v = its maximum speed). A dominance decision
+// made now — "vehicle B can never be closer to the dispatcher than vehicle
+// A" — therefore expires. DominanceHorizon computes exactly when, which is
+// the paper's "radii change over time" future-work question.
+//
+// Run with: go run ./examples/moving_objects
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hyperdom"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+
+	// The dispatcher's own position uncertainty (a building, not a point).
+	dispatcher := hyperdom.NewSphere([]float64{0, 0}, 0.05)
+
+	// Vehicle A: recently heard from, close. Vehicle B: farther out.
+	vehA := hyperdom.NewSphere([]float64{2.0, 0.5}, 0.1)
+	vehB := hyperdom.NewSphere([]float64{8.0, -3.0}, 0.1)
+
+	// Maximum speeds (km/min): how fast each uncertainty sphere inflates.
+	const vA, vB, vQ = 0.8, 1.0, 0.0
+
+	fmt.Printf("now: Dom(A, B, dispatcher) = %v\n",
+		hyperdom.Dominates(vehA, vehB, dispatcher))
+
+	horizon := hyperdom.DominanceHorizon(vehA, vehB, dispatcher, vA, vB, vQ, 60)
+	fmt.Printf("the decision expires after %.2f minutes of silence\n\n", horizon)
+
+	// Sanity check the horizon by replaying time.
+	for _, tm := range []float64{0, horizon * 0.5, horizon * 0.99, horizon * 1.01} {
+		at := func(s hyperdom.Sphere, v float64) hyperdom.Sphere {
+			return hyperdom.NewSphere(s.Center, s.Radius+v*tm)
+		}
+		fmt.Printf("t=%6.2f min: radii A=%.2f B=%.2f -> Dom = %v\n",
+			tm, vehA.Radius+vA*tm, vehB.Radius+vB*tm,
+			hyperdom.Dominates(at(vehA, vA), at(vehB, vB), at(dispatcher, vQ)))
+	}
+	fmt.Println()
+
+	// Fleet view: how long each pruning decision lives, across a random
+	// fleet. Short horizons mean the dispatcher must re-poll those
+	// vehicles sooner.
+	fmt.Println("fleet pruning horizons (A prunes B wrt dispatcher):")
+	count := 0
+	for i := 0; i < 200 && count < 8; i++ {
+		a := hyperdom.NewSphere([]float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}, 0.1)
+		b := hyperdom.NewSphere([]float64{rng.NormFloat64() * 8, rng.NormFloat64() * 8}, 0.1)
+		if !hyperdom.Dominates(a, b, dispatcher) {
+			continue
+		}
+		count++
+		h := hyperdom.DominanceHorizon(a, b, dispatcher, 0.8, 1.0, 0, 60)
+		fmt.Printf("  A(%5.1f,%5.1f) prunes B(%5.1f,%5.1f) for %5.2f min\n",
+			a.Center[0], a.Center[1], b.Center[0], b.Center[1], h)
+	}
+}

@@ -1,0 +1,46 @@
+// Quickstart: the hypersphere dominance operator on a 2-D example,
+// comparing all five decision criteria of the paper's Table 1.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"hyperdom"
+)
+
+func main() {
+	// Two uncertain objects and an uncertain query region (think of three
+	// GPS readings with error bounds).
+	sa := hyperdom.NewSphere([]float64{0, 0}, 1)
+	sb := hyperdom.NewSphere([]float64{9, 0}, 1)
+	sq := hyperdom.NewSphere([]float64{-4, 0}, 2)
+
+	fmt.Println("Sa =", sa)
+	fmt.Println("Sb =", sb)
+	fmt.Println("Sq =", sq)
+	fmt.Println()
+
+	// The optimal verdict: is every possible position of A closer to every
+	// possible query point than every possible position of B?
+	fmt.Printf("Dominates(Sa, Sb, Sq) = %v\n\n", hyperdom.Dominates(sa, sb, sq))
+
+	// All five criteria side by side. Correct = never a false positive,
+	// sound = never a false negative; only Hyperbola is both.
+	fmt.Println("criterion      verdict  correct  sound")
+	for _, c := range hyperdom.Criteria() {
+		fmt.Printf("%-14s %-8v %-8v %v\n",
+			c.Name(), c.Dominates(sa, sb, sq), c.Correct(), c.Sound())
+	}
+	fmt.Println()
+
+	// Fatten the query until dominance breaks, and certify the failure
+	// with a witness point.
+	fat := hyperdom.NewSphere([]float64{-4, 0}, 8)
+	fmt.Printf("with rq = 8: Dominates = %v\n", hyperdom.Dominates(sa, sb, fat))
+	if w := hyperdom.FindWitness(sa, sb, fat, 0); w != nil {
+		fmt.Printf("witness: q = [%.3f %.3f], margin = %.3f (≤ 0 proves non-dominance)\n",
+			w.Q[0], w.Q[1], w.Margin)
+	}
+}

@@ -1,0 +1,71 @@
+// Reverse kNN and top-k dominating queries: the other applications of the
+// dominance operator the paper names.
+//
+// A delivery service opens a new pickup point (the query). Which couriers
+// (uncertain positions) would have that pickup point among their k nearest
+// facilities? That is the reverse-kNN query: a courier is ruled out only
+// when k existing facilities *provably* dominate the new one from the
+// courier's point of view.
+//
+// Run with: go run ./examples/rknn_pruning
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hyperdom"
+)
+
+func main() {
+	const (
+		nFacilities = 2000
+		k           = 2
+	)
+	rng := rand.New(rand.NewSource(3))
+
+	// Existing facilities with survey uncertainty.
+	facilities := make([]hyperdom.Item, nFacilities)
+	tree := hyperdom.NewSSTree(2, 0)
+	for i := range facilities {
+		pos := []float64{rng.Float64() * 100, rng.Float64() * 100}
+		facilities[i] = hyperdom.Item{Sphere: hyperdom.NewSphere(pos, 0.1+rng.Float64()*0.5), ID: i}
+		tree.Insert(facilities[i])
+	}
+
+	// The proposed new pickup point, with siting uncertainty.
+	pickup := hyperdom.NewSphere([]float64{47, 53}, 1.5)
+	fmt.Printf("proposed pickup at (%.0f, %.0f) ± %.1f; k = %d\n\n",
+		pickup.Center[0], pickup.Center[1], pickup.Radius, k)
+
+	// Reverse-kNN with the optimal criterion (exact) vs MinMax (superset).
+	for _, crit := range []hyperdom.Criterion{hyperdom.Hyperbola(), hyperdom.MinMax()} {
+		res := hyperdom.RKNN(tree, pickup, k, crit)
+		fmt.Printf("%-9s: %4d facilities would see the pickup among their %d nearest (dominance checks %d)\n",
+			crit.Name(), len(res.Items), k, res.Stats.DomChecks)
+	}
+
+	exact := hyperdom.RKNN(tree, pickup, k, hyperdom.Hyperbola())
+	fmt.Printf("\nnearest affected facilities: ")
+	for i, it := range exact.Items {
+		if i == 5 {
+			fmt.Printf("… (%d more)", len(exact.Items)-5)
+			break
+		}
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%d", it.ID)
+	}
+	fmt.Println()
+
+	// Top-k dominating: which facilities are the strongest, i.e. dominate
+	// the most competitors from the pickup's point of view?
+	top := hyperdom.TopKDominating(facilities, pickup, 5, hyperdom.Hyperbola())
+	fmt.Println("\nmost dominant facilities wrt the pickup:")
+	for _, s := range top.Top {
+		fmt.Printf("  facility %4d dominates %4d others (dist to pickup ∈ [%.2f, %.2f])\n",
+			s.Item.ID, s.Score,
+			hyperdom.MinDist(s.Item.Sphere, pickup), hyperdom.MaxDist(s.Item.Sphere, pickup))
+	}
+}

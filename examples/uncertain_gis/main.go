@@ -1,0 +1,78 @@
+// Uncertain GIS: k-nearest-neighbour search over imprecise GPS positions.
+//
+// Each taxi reports its position with a device-dependent error bound, so a
+// taxi is a hypersphere: any point inside it could be the true position. A
+// rider also has an uncertain position. The kNN query of the paper's
+// Definition 2 returns every taxi that could still be among the k nearest —
+// no taxi that might be closest is ever pruned.
+//
+// The example indexes 50,000 taxis in an SS-tree and compares the pruning
+// power of the optimal Hyperbola criterion against MinMax.
+//
+// Run with: go run ./examples/uncertain_gis
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hyperdom"
+)
+
+func main() {
+	const (
+		nTaxis = 50000
+		cityKm = 40.0 // city is a 40km × 40km square
+		k      = 5
+	)
+	rng := rand.New(rand.NewSource(7))
+
+	// Taxis cluster around a few hotspots (airport, center, station…).
+	hotspots := [][]float64{{8, 8}, {20, 25}, {33, 12}, {15, 34}}
+	tree := hyperdom.NewSSTree(2, 0)
+	items := make([]hyperdom.Item, nTaxis)
+	for i := 0; i < nTaxis; i++ {
+		h := hotspots[rng.Intn(len(hotspots))]
+		pos := []float64{
+			clamp(h[0]+rng.NormFloat64()*5, 0, cityKm),
+			clamp(h[1]+rng.NormFloat64()*5, 0, cityKm),
+		}
+		gpsErr := 0.02 + rng.Float64()*0.2 // 20m to 220m of uncertainty
+		items[i] = hyperdom.Item{Sphere: hyperdom.NewSphere(pos, gpsErr), ID: i}
+		tree.Insert(items[i])
+	}
+
+	// A rider near the center with a coarse phone fix (±300m).
+	rider := hyperdom.NewSphere([]float64{19.4, 24.1}, 0.3)
+	fmt.Printf("rider at (%.1f, %.1f) ± %.0fm, requesting %d nearest taxis of %d\n\n",
+		rider.Center[0], rider.Center[1], rider.Radius*1000, k, nTaxis)
+
+	for _, strategy := range []hyperdom.SearchStrategy{hyperdom.BestFirst, hyperdom.DepthFirst} {
+		for _, crit := range []hyperdom.Criterion{hyperdom.Hyperbola(), hyperdom.MinMax()} {
+			res := hyperdom.KNN(tree, rider, k, crit, strategy)
+			fmt.Printf("%-3v + %-9s -> %2d candidate taxis  (nodes visited %4d, dominance checks %5d)\n",
+				strategy, crit.Name(), len(res.Items), res.Stats.NodesVisited, res.Stats.DomChecks)
+		}
+	}
+	fmt.Println()
+
+	// The Hyperbola answer is exact: every returned taxi could truly be
+	// among the k nearest; everything else is provably not.
+	res := hyperdom.KNN(tree, rider, k, hyperdom.Hyperbola(), hyperdom.BestFirst)
+	fmt.Println("possible 5-nearest taxis (Hyperbola, exact):")
+	for _, taxi := range res.Items {
+		fmt.Printf("  taxi %5d at (%5.2f, %5.2f) ± %3.0fm  dist ∈ [%.3f, %.3f] km\n",
+			taxi.ID, taxi.Sphere.Center[0], taxi.Sphere.Center[1], taxi.Sphere.Radius*1000,
+			hyperdom.MinDist(taxi.Sphere, rider), hyperdom.MaxDist(taxi.Sphere, rider))
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module hyperdom
+
+go 1.22

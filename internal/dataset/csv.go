@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hyperdom/internal/geom"
+)
+
+// WriteCSV streams items as "id,radius,c1,…,cd" rows — the format
+// cmd/datagen emits and LoadCSV reads back.
+func WriteCSV(w io.Writer, items []geom.Item) error {
+	bw := bufio.NewWriter(w)
+	for _, it := range items {
+		if _, err := fmt.Fprintf(bw, "%d,%s", it.ID,
+			strconv.FormatFloat(it.Sphere.Radius, 'g', -1, 64)); err != nil {
+			return err
+		}
+		for _, c := range it.Sphere.Center {
+			if _, err := fmt.Fprintf(bw, ",%s", strconv.FormatFloat(c, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCSV reads "id,radius,c1,…,cd" rows. All rows must share one
+// dimensionality; blank lines and lines starting with '#' are skipped.
+// This is the bridge for users who hold the actual NBA/Corel/Forest files
+// the paper used: export them in this format and every experiment runs on
+// the real data instead of the simulated stand-ins.
+func LoadCSV(r io.Reader) ([]geom.Item, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var items []geom.Item
+	dim := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("dataset: line %d: need at least id,radius,c1", lineNo)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad id %q: %w", lineNo, fields[0], err)
+		}
+		radius, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad radius %q: %w", lineNo, fields[1], err)
+		}
+		if radius < 0 {
+			return nil, fmt.Errorf("dataset: line %d: negative radius %v", lineNo, radius)
+		}
+		coords := fields[2:]
+		if dim == -1 {
+			dim = len(coords)
+		} else if len(coords) != dim {
+			return nil, fmt.Errorf("dataset: line %d: %d coordinates, want %d", lineNo, len(coords), dim)
+		}
+		center := make([]float64, dim)
+		for i, f := range coords {
+			c, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad coordinate %q: %w", lineNo, f, err)
+			}
+			center[i] = c
+		}
+		sphere := geom.Sphere{Center: center, Radius: radius}
+		if err := sphere.Validate(); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+		}
+		items = append(items, geom.Item{Sphere: sphere, ID: id})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading: %w", err)
+	}
+	return items, nil
+}

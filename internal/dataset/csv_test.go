@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hyperdom/internal/vec"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ps := SyntheticCenters(200, 5, Gaussian, 9)
+	items := Spheres(ps, GaussianRadii(7), 10)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, items); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := LoadCSV(&buf)
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("got %d items, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if got[i].ID != items[i].ID ||
+			got[i].Sphere.Radius != items[i].Sphere.Radius ||
+			!vec.Equal(got[i].Sphere.Center, items[i].Sphere.Center) {
+			t.Fatalf("item %d does not round-trip exactly", i)
+		}
+	}
+}
+
+func TestLoadCSVCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\n0,1.5,2,3\n\n# another\n1,0,4,5\n"
+	items, err := LoadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if len(items) != 2 || items[1].Sphere.Center[1] != 5 {
+		t.Fatalf("parsed %v", items)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"short row":       "0,1\n",
+		"bad id":          "x,1,2\n",
+		"bad radius":      "0,huh,2\n",
+		"negative radius": "0,-1,2\n",
+		"bad coord":       "0,1,zap\n",
+		"mixed dims":      "0,1,2,3\n1,1,2\n",
+		"nan coord":       "0,1,NaN\n",
+	}
+	for name, in := range cases {
+		if _, err := LoadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadCSVEmpty(t *testing.T) {
+	items, err := LoadCSV(strings.NewReader(""))
+	if err != nil || len(items) != 0 {
+		t.Errorf("empty input: %v, %d items", err, len(items))
+	}
+}
+
+func TestLoadCSVInfinityRejected(t *testing.T) {
+	if _, err := LoadCSV(strings.NewReader("0,1,+Inf\n")); err == nil {
+		t.Error("infinite coordinate accepted")
+	}
+}

@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"hyperdom/internal/stats"
+)
+
+func TestSyntheticCentersGaussian(t *testing.T) {
+	ps := SyntheticCenters(20000, 4, Gaussian, 1)
+	if len(ps.Points) != 20000 || ps.Dim != 4 {
+		t.Fatalf("got %d points dim %d", len(ps.Points), ps.Dim)
+	}
+	// Per-coordinate mean ≈ 100, stddev ≈ 25 (Table 2).
+	for j := 0; j < 4; j++ {
+		col := make([]float64, len(ps.Points))
+		for i, p := range ps.Points {
+			col[i] = p[j]
+		}
+		if m := stats.Mean(col); math.Abs(m-100) > 1 {
+			t.Errorf("dim %d mean = %v, want ≈100", j, m)
+		}
+		if s := stats.StdDev(col); math.Abs(s-25) > 1 {
+			t.Errorf("dim %d stddev = %v, want ≈25", j, s)
+		}
+	}
+}
+
+func TestSyntheticCentersUniform(t *testing.T) {
+	ps := SyntheticCenters(20000, 3, Uniform, 2)
+	for _, p := range ps.Points {
+		for _, x := range p {
+			if x < 0 || x > 200 {
+				t.Fatalf("uniform coordinate %v outside [0,200]", x)
+			}
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := SyntheticCenters(100, 3, Gaussian, 7)
+	b := SyntheticCenters(100, 3, Gaussian, 7)
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != b.Points[i][j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+	c := SyntheticCenters(100, 3, Gaussian, 8)
+	same := true
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != c.Points[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSpheresGaussianRadii(t *testing.T) {
+	ps := SyntheticCenters(20000, 2, Gaussian, 3)
+	items := Spheres(ps, GaussianRadii(50), 4)
+	if len(items) != 20000 {
+		t.Fatalf("got %d items", len(items))
+	}
+	radii := make([]float64, len(items))
+	for i, it := range items {
+		if it.Sphere.Radius < 0 {
+			t.Fatal("negative radius")
+		}
+		if it.ID != i {
+			t.Fatal("IDs must be point indices")
+		}
+		radii[i] = it.Sphere.Radius
+	}
+	if m := stats.Mean(radii); math.Abs(m-50) > 1 {
+		t.Errorf("radius mean = %v, want ≈50", m)
+	}
+	if s := stats.StdDev(radii); math.Abs(s-12.5) > 1 {
+		t.Errorf("radius stddev = %v, want ≈12.5 (μ/4)", s)
+	}
+}
+
+func TestSpheresUniformRadii(t *testing.T) {
+	ps := SyntheticCenters(1000, 2, Gaussian, 3)
+	for _, it := range Spheres(ps, UniformRadii(0, 200), 4) {
+		if it.Sphere.Radius < 0 || it.Sphere.Radius > 200 {
+			t.Fatalf("uniform radius %v outside [0,200]", it.Sphere.Radius)
+		}
+	}
+}
+
+func TestRealDatasetShapes(t *testing.T) {
+	want := map[string]struct{ n, d int }{
+		"NBA":     {17265, 17},
+		"Color":   {68040, 9},
+		"Texture": {68040, 16},
+		"Forest":  {82012, 10},
+	}
+	for _, ps := range Real() {
+		w, ok := want[ps.Name]
+		if !ok {
+			t.Fatalf("unexpected dataset %q", ps.Name)
+		}
+		if len(ps.Points) != w.n || ps.Dim != w.d {
+			t.Errorf("%s: %d × %dd, want %d × %dd", ps.Name, len(ps.Points), ps.Dim, w.n, w.d)
+		}
+		for _, p := range ps.Points[:100] {
+			if len(p) != w.d {
+				t.Fatalf("%s: point with %d coordinates", ps.Name, len(p))
+			}
+			for _, x := range p {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("%s: non-finite coordinate", ps.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestRealDatasetsDeterministic(t *testing.T) {
+	a := NBA()
+	b := NBA()
+	for i := 0; i < 50; i++ {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != b.Points[i][j] {
+				t.Fatal("NBA() is not deterministic")
+			}
+		}
+	}
+}
+
+func TestRealDatasetsAreClustered(t *testing.T) {
+	// The stand-ins must not be i.i.d. uniform noise: the per-dimension
+	// variance of cluster-structured data noticeably exceeds the variance
+	// within a typical neighbourhood. As a cheap proxy, verify that the
+	// first coordinate's distribution is multi-modal-ish: stddev of the
+	// whole column is much larger than the spread parameter would give a
+	// single cluster.
+	ps := Color()
+	col := make([]float64, 5000)
+	for i := range col {
+		col[i] = ps.Points[i][0]
+	}
+	sd := stats.StdDev(col)
+	if sd < 20 {
+		t.Errorf("Color first-coordinate stddev %v; expected clustered spread over [0,200]", sd)
+	}
+}
+
+func TestSample(t *testing.T) {
+	ps := SyntheticCenters(1000, 2, Gaussian, 5)
+	s := ps.Sample(100, 6)
+	if len(s.Points) != 100 {
+		t.Fatalf("Sample returned %d points", len(s.Points))
+	}
+	full := ps.Sample(5000, 6)
+	if len(full.Points) != 1000 {
+		t.Fatalf("oversized Sample returned %d points", len(full.Points))
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Gaussian.String() != "G" || Uniform.String() != "U" {
+		t.Error("Distribution String broken")
+	}
+}

@@ -1,0 +1,82 @@
+package dominance
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkCriteria measures every criterion across dimensionalities on a
+// workload of non-trivial (mostly non-overlapping) instances, the per-call
+// cost behind the paper's Figures 8–11.
+func BenchmarkCriteria(b *testing.B) {
+	for _, d := range []int{2, 6, 16, 64} {
+		rng := rand.New(rand.NewSource(int64(d)))
+		ins := make([]instance, 1024)
+		for i := range ins {
+			ins[i] = randInstance(rng, d)
+		}
+		for _, crit := range append(All(), Exact{}) {
+			crit := crit
+			b.Run(fmt.Sprintf("d=%d/%s", d, crit.Name()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					in := ins[i%len(ins)]
+					crit.Dominates(in.sa, in.sb, in.sq)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkReduce isolates the O(d) coordinate transformation.
+func BenchmarkReduce(b *testing.B) {
+	for _, d := range []int{2, 16, 128} {
+		rng := rand.New(rand.NewSource(int64(d)))
+		ins := make([]instance, 256)
+		for i := range ins {
+			ins[i] = instance{
+				sa: randSphereT(rng, d, 10, 2),
+				sb: randSphereT(rng, d, 10, 2),
+				sq: randSphereT(rng, d, 10, 2),
+			}
+		}
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				in := ins[i%len(ins)]
+				reduce(in.sa, in.sb, in.sq)
+			}
+		})
+	}
+}
+
+// BenchmarkFindWitness measures the falsifier's cost per budget.
+func BenchmarkFindWitness(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	ins := make([]instance, 128)
+	for i := range ins {
+		ins[i] = randInstance(rng, 4)
+	}
+	for _, samples := range []int{32, 256} {
+		samples := samples
+		b.Run(fmt.Sprintf("samples=%d", samples), func(b *testing.B) {
+			local := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				in := ins[i%len(ins)]
+				FindWitness(in.sa, in.sb, in.sq, samples, local)
+			}
+		})
+	}
+}
+
+// BenchmarkHorizon measures the bisection cost of the dominance horizon.
+func BenchmarkHorizon(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	ins := make([]instance, 128)
+	for i := range ins {
+		ins[i] = randInstance(rng, 3)
+	}
+	for i := 0; i < b.N; i++ {
+		in := ins[i%len(ins)]
+		Horizon(in.sa, in.sb, in.sq, 0.5, 0.5, 0.5, 100)
+	}
+}

@@ -1,0 +1,87 @@
+// Package dominance implements the hypersphere spatial-dominance operator of
+// the paper "Hypersphere Dominance: An Optimal Approach" (SIGMOD 2014),
+// together with the four competitor decision criteria the paper evaluates
+// against and two reference oracles used in testing.
+//
+// Given three hyperspheres Sa, Sb and Sq, Sa dominates Sb with respect to Sq
+// (Definition 1) iff
+//
+//	∀q ∈ Sq, ∀a ∈ Sa, ∀b ∈ Sb :  Dist(a,q) < Dist(b,q)
+//
+// which, when Sa and Sb do not overlap, is equivalent to the minimum
+// distance difference (MDD) condition (Eq. 7):
+//
+//	min_{q ∈ Sq} ( Dist(cb,q) − Dist(ca,q) )  >  ra + rb
+//
+// A decision criterion is correct if it never returns true when dominance
+// does not hold (no false positives) and sound if it never returns false
+// when dominance holds (no false negatives). The paper's Hyperbola criterion
+// is the only one that is correct, sound and O(d):
+//
+//	| Criterion     | Correct | Sound | Time  |
+//	|---------------|---------|-------|-------|
+//	| Hyperbola     | yes     | yes   | O(d)  |
+//	| MinMax        | yes     | no    | O(d)  |
+//	| MBR           | yes     | no    | O(d)  |
+//	| GP            | yes     | no*   | O(d)  |
+//	| Trigonometric | no      | yes   | O(d)  |
+//
+// (*) GP is sound — hence optimal — for dimensionality ≤ 2 only.
+package dominance
+
+import "hyperdom/internal/geom"
+
+// Criterion is a decision procedure for the hypersphere dominance problem.
+// Implementations must be safe for concurrent use.
+type Criterion interface {
+	// Name returns the criterion's name as used in the paper's figures.
+	Name() string
+	// Dominates reports the criterion's verdict on whether sa dominates sb
+	// with respect to the query sphere sq. All three spheres must share one
+	// dimensionality.
+	Dominates(sa, sb, sq geom.Sphere) bool
+	// Correct reports whether the criterion is correct for arbitrary
+	// dimensionality: a true verdict always implies real dominance.
+	Correct() bool
+	// Sound reports whether the criterion is sound for arbitrary
+	// dimensionality: a false verdict always implies real non-dominance.
+	Sound() bool
+}
+
+// All returns the five criteria evaluated in the paper, in the order of
+// Table 1: MinMax, MBR, GP, Trigonometric, Hyperbola.
+func All() []Criterion {
+	return []Criterion{MinMax{}, MBR{}, GP{}, Trigonometric{}, Hyperbola{}}
+}
+
+// ByName returns the criterion with the given name (as reported by Name),
+// or nil if there is none. Recognised names: "Hyperbola", "MinMax", "MBR",
+// "GP", "Trigonometric", "Exact".
+func ByName(name string) Criterion {
+	switch name {
+	case "Hyperbola":
+		return Hyperbola{}
+	case "MinMax":
+		return MinMax{}
+	case "MBR":
+		return MBR{}
+	case "GP":
+		return GP{}
+	case "Trigonometric":
+		return Trigonometric{}
+	case "Exact":
+		return Exact{}
+	}
+	return nil
+}
+
+// checkDims panics if the three spheres do not share one dimensionality.
+// Mixing dimensionalities is always a caller bug; failing fast beats
+// returning a silently wrong verdict from a pruning operator.
+func checkDims(sa, sb, sq geom.Sphere) int {
+	d := sa.Dim()
+	if sb.Dim() != d || sq.Dim() != d {
+		panic("dominance: spheres with mixed dimensionality")
+	}
+	return d
+}

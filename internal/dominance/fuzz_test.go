@@ -1,0 +1,84 @@
+package dominance
+
+import (
+	"math"
+	"testing"
+
+	"hyperdom/internal/geom"
+)
+
+// FuzzHyperbolaVsExact2D feeds raw coordinates to the closed-form criterion
+// and the numeric oracle: they must agree away from the decision boundary
+// and neither may panic or return a NaN-driven verdict. Runs on the seed
+// corpus in normal test runs; `go test -fuzz FuzzHyperbolaVsExact2D` digs
+// deeper.
+func FuzzHyperbolaVsExact2D(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 9.0, 0.0, 1.0, -4.0, 0.0, 2.0)
+	f.Add(0.0, 0.0, 0.0, 1.0, 0.0, 0.0, -3.0, 0.0, 3.0)   // rab = 0, grazing
+	f.Add(-5.0, 0.0, 1.0, 5.0, 0.0, 2.0, -20.0, 0.0, 0.0) // on-axis query
+	f.Add(-5.0, 0.0, 1.0, 5.0, 0.0, 2.0, 0.0, 7.0, 1.0)   // bisector query
+	f.Add(0.0, 0.0, 2.0, 3.0, 0.0, 2.0, 10.0, 10.0, 1.0)  // overlap
+	f.Add(1e6, 1e6, 1.0, 1e6+9, 1e6, 1.0, 1e6-4, 1e6, 2.0)
+	f.Fuzz(func(t *testing.T, ax, ay, ar, bx, by, br, qx, qy, qr float64) {
+		for _, v := range []float64{ax, ay, ar, bx, by, br, qx, qy, qr} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				t.Skip()
+			}
+		}
+		if ar < 0 || br < 0 || qr < 0 {
+			t.Skip()
+		}
+		sa := geom.Sphere{Center: []float64{ax, ay}, Radius: ar}
+		sb := geom.Sphere{Center: []float64{bx, by}, Radius: br}
+		sq := geom.Sphere{Center: []float64{qx, qy}, Radius: qr}
+		in := instance{sa, sb, sq}
+		// Scale-aware boundary tolerance.
+		scale := 1.0
+		for _, v := range []float64{ax, ay, bx, by, qx, qy, ar, br, qr} {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		if nearBoundary(in, 1e-7*scale) {
+			t.Skip()
+		}
+		got := Hyperbola{}.Dominates(sa, sb, sq)
+		want := Exact{}.Dominates(sa, sb, sq)
+		if got != want {
+			t.Fatalf("Hyperbola=%v Exact=%v\nsa=%v\nsb=%v\nsq=%v", got, want, sa, sb, sq)
+		}
+	})
+}
+
+// FuzzAllCriteriaNoPanic drives every criterion (and the witness search)
+// with arbitrary 3-D inputs: none may panic on any valid sphere triple, and
+// the correctness hierarchy must hold pointwise.
+func FuzzAllCriteriaNoPanic(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, 1.0, 5.0, 5.0, 5.0, 1.0, -5.0, -5.0, -5.0, 1.0)
+	f.Add(1.0, 2.0, 3.0, 0.0, 1.0, 2.0, 3.0, 0.0, 1.0, 2.0, 3.0, 0.0) // all identical points
+	f.Fuzz(func(t *testing.T, ax, ay, az, ar, bx, by, bz, br, qx, qy, qz, qr float64) {
+		for _, v := range []float64{ax, ay, az, ar, bx, by, bz, br, qx, qy, qz, qr} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				t.Skip()
+			}
+		}
+		if ar < 0 || br < 0 || qr < 0 {
+			t.Skip()
+		}
+		sa := geom.Sphere{Center: []float64{ax, ay, az}, Radius: ar}
+		sb := geom.Sphere{Center: []float64{bx, by, bz}, Radius: br}
+		sq := geom.Sphere{Center: []float64{qx, qy, qz}, Radius: qr}
+		hyp := Hyperbola{}.Dominates(sa, sb, sq)
+		for _, c := range All() {
+			v := c.Dominates(sa, sb, sq)
+			// Correct criteria may only say true when the exact one does;
+			// allow boundary slack since fuzz inputs can sit right on it.
+			if c.Correct() && v && !hyp && !nearBoundary(instance{sa, sb, sq}, 1e-6*(1+math.Abs(ax)+math.Abs(bx)+math.Abs(qx))) {
+				t.Fatalf("%s=true but Hyperbola=false\nsa=%v\nsb=%v\nsq=%v", c.Name(), sa, sb, sq)
+			}
+		}
+		if w := FindWitness(sa, sb, sq, 32, nil); w != nil && len(w.Q) != 3 {
+			t.Fatal("witness with wrong dimensionality")
+		}
+	})
+}

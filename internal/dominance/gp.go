@@ -1,0 +1,66 @@
+package dominance
+
+import (
+	"math"
+
+	"hyperdom/internal/geom"
+)
+
+// GP is an adaptation of the GP (geometric pruning) decision criterion of
+// Lian and Chen (VLDBJ 2009, ref [22] of the paper). For dimensionality
+// d > 2 it collapses the instance to 2-D and decides dominance there; for
+// d ≤ 2 it is the exact 2-D procedure, matching the paper's remark that GP
+// "is optimal for 2-dimensional datasets only".
+//
+// The collapse: coordinates are first translated so that ca is the origin,
+// then a point x is mapped to u(x) = (‖x[1..d−1]‖, x[d]). The transform has
+// two properties the appendix of the paper relies on:
+//
+//   - Dist(u(x), u(y)) ≤ Dist(x, y)       (pairwise distances shrink), and
+//   - Dist(u(x), u(ca)) = Dist(x, ca)     (distances to ca are preserved,
+//     because ‖u(x)‖ = ‖x‖ and ca maps to the origin).
+//
+// If dominance holds among the collapsed spheres (same radii, collapsed
+// centers), then for every q ∈ Sq its image q′ lies in the collapsed query
+// sphere and Dist(cb,q) − Dist(ca,q) ≥ Dist(u(cb),q′) − Dist(u(ca),q′) >
+// ra+rb, so dominance holds in the original space: the criterion is correct.
+// It is not sound for d > 2: the collapse can shrink Dist(cb,·) enough to
+// break the MDD condition in 2-D even though it holds in d dimensions.
+//
+// The exact internals of [22] are not fully specified in the paper; this
+// reconstruction provably has every property the paper asserts for GP
+// (correct, not sound, O(d), "does the computations in the 2D space only").
+// See DESIGN.md §5.
+type GP struct{}
+
+// Name implements Criterion.
+func (GP) Name() string { return "GP" }
+
+// Correct implements Criterion.
+func (GP) Correct() bool { return true }
+
+// Sound implements Criterion. GP is sound only for d ≤ 2.
+func (GP) Sound() bool { return false }
+
+// Dominates implements Criterion in O(d) time.
+func (GP) Dominates(sa, sb, sq geom.Sphere) bool {
+	d := checkDims(sa, sb, sq)
+	if d <= 2 {
+		return Hyperbola{}.Dominates(sa, sb, sq)
+	}
+	ca, cb, cq := sa.Center, sb.Center, sq.Center
+	var nb2, nq2 float64 // squared norms of the first d−1 translated coords
+	for i := 0; i < d-1; i++ {
+		eb := cb[i] - ca[i]
+		nb2 += eb * eb
+		eq := cq[i] - ca[i]
+		nq2 += eq * eq
+	}
+	last := d - 1
+	ub := [2]float64{math.Sqrt(nb2), cb[last] - ca[last]}
+	uq := [2]float64{math.Sqrt(nq2), cq[last] - ca[last]}
+	sa2 := geom.Sphere{Center: []float64{0, 0}, Radius: sa.Radius}
+	sb2 := geom.Sphere{Center: ub[:], Radius: sb.Radius}
+	sq2 := geom.Sphere{Center: uq[:], Radius: sq.Radius}
+	return Hyperbola{}.Dominates(sa2, sb2, sq2)
+}

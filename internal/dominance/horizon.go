@@ -1,0 +1,63 @@
+package dominance
+
+import (
+	"fmt"
+
+	"hyperdom/internal/geom"
+)
+
+// This file implements the first future-work direction the paper's
+// conclusion names: deciding dominance "when the radii of the hyperspheres
+// change over time". Radii grow linearly — r(t) = r + v·t with velocity
+// v ≥ 0 — which models uncertainty regions inflating as measurements age
+// (dead reckoning in moving-object databases).
+//
+// Dominance is anti-monotone in every radius: growing ra or rb raises the
+// MDD threshold ra+rb, and growing rq shrinks the minimum of the distance
+// difference over the larger query ball. Hence with non-negative velocities
+// there is a single switch time t* — dominance holds for all t < t* and for
+// no t > t* — and bisection over the (exact) Hyperbola criterion finds it
+// to any precision.
+
+// Horizon returns the dominance horizon of the instance under linear radius
+// growth: the supremum t* ∈ [0, tMax] such that Dom(Sa(t), Sb(t), Sq(t))
+// holds for every t < t*, where X(t) keeps X's center and has radius
+// rx + vx·t. It returns 0 when dominance does not hold at t = 0 and tMax
+// when it still holds at tMax. All velocities must be non-negative.
+//
+// The result is exact up to the bisection tolerance of ~1e-12·(1+tMax).
+func Horizon(sa, sb, sq geom.Sphere, va, vb, vq float64, tMax float64) float64 {
+	if va < 0 || vb < 0 || vq < 0 {
+		panic(fmt.Sprintf("dominance: Horizon with negative velocity (%v, %v, %v)", va, vb, vq))
+	}
+	if tMax < 0 {
+		panic(fmt.Sprintf("dominance: Horizon with negative tMax %v", tMax))
+	}
+	h := Hyperbola{}
+	at := func(t float64) bool {
+		return h.Dominates(
+			geom.Sphere{Center: sa.Center, Radius: sa.Radius + va*t},
+			geom.Sphere{Center: sb.Center, Radius: sb.Radius + vb*t},
+			geom.Sphere{Center: sq.Center, Radius: sq.Radius + vq*t},
+		)
+	}
+	if !at(0) {
+		return 0
+	}
+	if va == 0 && vb == 0 && vq == 0 {
+		return tMax
+	}
+	if at(tMax) {
+		return tMax
+	}
+	lo, hi := 0.0, tMax // at(lo) true, at(hi) false
+	for i := 0; i < 100 && hi-lo > 1e-12*(1+tMax); i++ {
+		mid := lo + (hi-lo)/2
+		if at(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

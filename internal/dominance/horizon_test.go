@@ -1,0 +1,126 @@
+package dominance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/geom"
+)
+
+// TestHorizonHyperplaneAnalytic: with two point objects the boundary is
+// the bisector hyperplane at distance dmin from cq; only rq grows, so the
+// horizon is exactly (dmin − rq)/vq.
+func TestHorizonHyperplaneAnalytic(t *testing.T) {
+	sa := sph(0, -1, 0) // boundary is the plane x = 0
+	sb := sph(0, 1, 0)
+	sq := sph(1, -5, 0) // dmin = 5, slack = 4
+	got := Horizon(sa, sb, sq, 0, 0, 2, 100)
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("horizon = %v, want 2 ((5−1)/2)", got)
+	}
+}
+
+// TestHorizonRadiusSumAnalytic: growing ra against a point query on the
+// axis. With centers at ±5 and the query at x = −20, the MDD margin along
+// the axis is dcc − rab... the dominance boundary (vertex) sits at
+// x = −rab/2, the query center at canonical −20+5 = −15 with rq = 0, so
+// dominance holds while rab/2 < 15, i.e. ra + rb < 30 — but overlap breaks
+// it earlier, at ra + rb = dcc = 10.
+func TestHorizonOverlapBreaks(t *testing.T) {
+	sa := sph(1, 0, 0)
+	sb := sph(1, 10, 0)
+	sq := sph(0, -20, 0)
+	// ra(t) = 1 + t: overlap at ra + rb = 10 → t = 8.
+	got := Horizon(sa, sb, sq, 1, 0, 0, 100)
+	if math.Abs(got-8) > 1e-9 {
+		t.Errorf("horizon = %v, want 8 (tangency time)", got)
+	}
+}
+
+func TestHorizonBoundaryBehaviour(t *testing.T) {
+	sa := sph(1, 0, 0)
+	sb := sph(1, 6, 0)
+	notDominant := sph(3.5, -1, 0)
+	if got := Horizon(sa, sb, notDominant, 1, 1, 1, 10); got != 0 {
+		t.Errorf("horizon of a non-dominant instance = %v, want 0", got)
+	}
+	dominant := sph(1, -1, 0)
+	if got := Horizon(sa, sb, dominant, 0, 0, 0, 10); got != 10 {
+		t.Errorf("horizon with zero velocities = %v, want tMax", got)
+	}
+	if got := Horizon(sa, sb, dominant, 0, 0, 1e-9, 1); got != 1 {
+		t.Errorf("horizon that outlives tMax = %v, want tMax", got)
+	}
+}
+
+// TestHorizonConsistentWithCriterion: just below the horizon dominance
+// holds, just above it does not.
+func TestHorizonConsistentWithCriterion(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	h := Hyperbola{}
+	checked := 0
+	for i := 0; i < 4000 && checked < 500; i++ {
+		d := 1 + rng.Intn(6)
+		in := randInstance(rng, d)
+		va, vb, vq := rng.Float64(), rng.Float64(), rng.Float64()
+		const tMax = 50
+		ts := Horizon(in.sa, in.sb, in.sq, va, vb, vq, tMax)
+		if ts == 0 || ts == tMax {
+			continue
+		}
+		checked++
+		eps := 1e-6 * (1 + ts)
+		grow := func(s geom.Sphere, v, t float64) geom.Sphere {
+			return geom.Sphere{Center: s.Center, Radius: s.Radius + v*t}
+		}
+		if !h.Dominates(grow(in.sa, va, ts-eps), grow(in.sb, vb, ts-eps), grow(in.sq, vq, ts-eps)) {
+			t.Fatalf("dominance fails below the horizon (i=%d, t*=%v)", i, ts)
+		}
+		if h.Dominates(grow(in.sa, va, ts+eps), grow(in.sb, vb, ts+eps), grow(in.sq, vq, ts+eps)) {
+			t.Fatalf("dominance holds above the horizon (i=%d, t*=%v)", i, ts)
+		}
+	}
+	if checked < 100 {
+		t.Errorf("only %d interior horizons exercised", checked)
+	}
+}
+
+// TestRadiusAntiMonotonicity pins the lemma the bisection relies on:
+// growing any radius never turns a non-dominant instance dominant.
+func TestRadiusAntiMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := Hyperbola{}
+	for i := 0; i < 20000; i++ {
+		d := 1 + rng.Intn(6)
+		in := randInstance(rng, d)
+		if h.Dominates(in.sa, in.sb, in.sq) {
+			continue
+		}
+		grown := geom.Sphere{Center: in.sa.Center, Radius: in.sa.Radius + rng.Float64()}
+		if h.Dominates(grown, in.sb, in.sq) {
+			t.Fatalf("growing ra repaired dominance (i=%d)", i)
+		}
+		grown = geom.Sphere{Center: in.sq.Center, Radius: in.sq.Radius + rng.Float64()}
+		if h.Dominates(in.sa, in.sb, grown) {
+			t.Fatalf("growing rq repaired dominance (i=%d)", i)
+		}
+	}
+}
+
+func TestHorizonPanics(t *testing.T) {
+	sa, sb, sq := sph(0, 0), sph(0, 1), sph(0, -1)
+	for name, fn := range map[string]func(){
+		"negative velocity": func() { Horizon(sa, sb, sq, -1, 0, 0, 1) },
+		"negative tMax":     func() { Horizon(sa, sb, sq, 0, 0, 0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

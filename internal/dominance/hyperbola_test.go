@@ -1,0 +1,325 @@
+package dominance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/geom"
+)
+
+func sph(r float64, c ...float64) geom.Sphere { return geom.NewSphere(c, r) }
+
+func TestHyperbolaHandExamples(t *testing.T) {
+	h := Hyperbola{}
+	tests := []struct {
+		name       string
+		sa, sb, sq geom.Sphere
+		want       bool
+	}{
+		{
+			// Figure 1(a)-style: Sa close to Sq, Sb far behind Sa.
+			"clear dominance",
+			sph(1, 0, 0), sph(1, 20, 0), sph(1, -10, 0),
+			true,
+		},
+		{
+			// Along the axis diff(q=(x,0)) = 6−2x, positive-dominant while
+			// x < 2; rq = 2.5 keeps Sq's reach at x ≤ 1.5 < 2.
+			"query almost too fat",
+			sph(1, 0, 0), sph(1, 6, 0), sph(2.5, -1, 0),
+			true,
+		},
+		{
+			// Figure 1(b)-style: rq = 3.5 reaches x = 2.5 > 2, so a query
+			// point exists that is nearly equidistant.
+			"query too fat",
+			sph(1, 0, 0), sph(1, 6, 0), sph(3.5, -1, 0),
+			false,
+		},
+		{
+			"overlapping objects (Lemma 1)",
+			sph(2, 0, 0), sph(2, 3, 0), sph(0.1, -10, 0),
+			false,
+		},
+		{
+			"tangent objects count as overlap",
+			sph(1, 0, 0), sph(1, 2, 0), sph(0.1, -10, 0),
+			false,
+		},
+		{
+			// Points: dominance iff strictly closer for the single q.
+			"all points, closer",
+			sph(0, 0, 0), sph(0, 10, 0), sph(0, 1, 0),
+			true,
+		},
+		{
+			"all points, equidistant",
+			sph(0, 0, 0), sph(0, 2, 0), sph(0, 1, 0),
+			false,
+		},
+		{
+			// Lemma 3 construction: q-sphere straddles nothing; perpendicular
+			// bisector logic with zero-radius objects. Sa=(0,1), Sb=(0,-1),
+			// Sq centered (0,5) r=2: every q has y ≥ 3 > 0, closer to Sa.
+			"bisector halfplane, fat query",
+			sph(0, 0, 1), sph(0, 0, -1), sph(2, 0, 5),
+			true,
+		},
+		{
+			"bisector halfplane, query touches plane",
+			sph(0, 0, 1), sph(0, 0, -1), sph(5, 0, 5),
+			false,
+		},
+		{
+			// Boundary vertex sits at x = 4 (diff = 10−2x = 2); cq at x = 3
+			// is inside Ra with dmin = 1, so rq = 1.1 pokes through.
+			"query grazes boundary",
+			sph(1, 0, 0), sph(1, 10, 0), sph(1.1, 3, 0),
+			false,
+		},
+		{
+			"query just clears boundary",
+			sph(1, 0, 0), sph(1, 10, 0), sph(0.9, 3, 0),
+			true,
+		},
+		{
+			"query center outside Ra",
+			sph(1, 0, 0), sph(1, 10, 0), sph(0.1, 9, 0),
+			false,
+		},
+		{
+			"3d symmetric",
+			sph(1, 0, 0, 0), sph(1, 10, 0, 0), sph(1, -5, 3, -2),
+			true,
+		},
+		{
+			"1d dominance",
+			sph(1, 0), sph(1, 10), sph(1, -4),
+			true,
+		},
+		{
+			"1d query between",
+			sph(1, 0), sph(1, 10), sph(2, 4),
+			false,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := h.Dominates(tc.sa, tc.sb, tc.sq); got != tc.want {
+				t.Errorf("Hyperbola = %v, want %v", got, tc.want)
+			}
+			if got := (Exact{}).Dominates(tc.sa, tc.sb, tc.sq); got != tc.want {
+				t.Errorf("Exact oracle = %v, want %v (test expectation wrong?)", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHyperbolaQueryGrazesExact pins the grazing case analytically: with
+// point objects at ±1 on the x-axis the boundary is the plane x = 0, so Sq
+// centered at (−3,…) with radius exactly 3 touches the boundary and must not
+// dominate, while radius 2.999 must.
+func TestHyperbolaGrazingHyperplane(t *testing.T) {
+	h := Hyperbola{}
+	sa := sph(0, -1, 0)
+	sb := sph(0, 1, 0)
+	if h.Dominates(sa, sb, sph(3, -3, 0)) {
+		t.Error("query tangent to the bisector plane must not be dominated (strictness)")
+	}
+	if !h.Dominates(sa, sb, sph(2.999, -3, 0)) {
+		t.Error("query strictly inside the halfplane must be dominated")
+	}
+}
+
+// TestHyperbolaVsExactRandom is the central agreement test: on hundreds of
+// thousands of random instances across dimensionalities, the closed-form
+// Hyperbola verdict must equal the numeric oracle's verdict except within a
+// hair of the decision boundary.
+func TestHyperbolaVsExactRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := Hyperbola{}
+	e := Exact{}
+	const perDim = 20000
+	for _, d := range []int{1, 2, 3, 5, 8, 16, 50} {
+		checked, skipped := 0, 0
+		for i := 0; i < perDim; i++ {
+			in := randInstance(rng, d)
+			if nearBoundary(in, 1e-7) {
+				skipped++
+				continue
+			}
+			checked++
+			got := h.Dominates(in.sa, in.sb, in.sq)
+			want := e.Dominates(in.sa, in.sb, in.sq)
+			if got != want {
+				t.Fatalf("d=%d i=%d: Hyperbola=%v Exact=%v\nsa=%v\nsb=%v\nsq=%v",
+					d, i, got, want, in.sa, in.sb, in.sq)
+			}
+		}
+		if checked < perDim/2 {
+			t.Errorf("d=%d: only %d instances checked (%d skipped as boundary-ambiguous)", d, checked, skipped)
+		}
+	}
+}
+
+// TestDminAgreement compares the closed-form quartic distance against the
+// oracle's scan-and-refine distance directly.
+func TestDminAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50000; i++ {
+		d := 1 + rng.Intn(8)
+		sa := randSphereT(rng, d, 10, 4)
+		sb := randSphereT(rng, d, 10, 4)
+		sq := randSphereT(rng, d, 10, 4)
+		if geom.Overlap(sa, sb) {
+			continue
+		}
+		got := HyperbolaDmin(sa, sb, sq)
+		want := Dmin(sa, sb, sq)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("i=%d: HyperbolaDmin=%v Dmin=%v\nsa=%v\nsb=%v\nsq=%v",
+				i, got, want, sa, sb, sq)
+		}
+	}
+}
+
+// TestDminSpecialPositions exercises the degenerate positions the Lagrange
+// back-substitution cannot reach: cq on the focal axis, cq on the
+// perpendicular bisector plane, and point objects.
+func TestDminSpecialPositions(t *testing.T) {
+	sa := sph(1, -5, 0)
+	sb := sph(2, 5, 0)
+
+	t.Run("cq on axis, near side", func(t *testing.T) {
+		sq := sph(0, -20, 0)
+		got := HyperbolaDmin(sa, sb, sq)
+		want := Dmin(sa, sb, sq)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("dmin = %v, oracle %v", got, want)
+		}
+	})
+	t.Run("cq on axis, between vertex and focus", func(t *testing.T) {
+		sq := sph(0, -3, 0)
+		got := HyperbolaDmin(sa, sb, sq)
+		want := Dmin(sa, sb, sq)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("dmin = %v, oracle %v", got, want)
+		}
+	})
+	t.Run("cq on bisector plane", func(t *testing.T) {
+		sq := sph(0, 0, 7)
+		got := HyperbolaDmin(sa, sb, sq)
+		want := Dmin(sa, sb, sq)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("dmin = %v, oracle %v", got, want)
+		}
+	})
+	t.Run("point objects: plane distance", func(t *testing.T) {
+		pa := sph(0, -1, 0)
+		pb := sph(0, 1, 0)
+		got := HyperbolaDmin(pa, pb, sph(0, -4, 3))
+		if math.Abs(got-4) > 1e-12 {
+			t.Errorf("dmin to bisector plane = %v, want 4", got)
+		}
+	})
+	t.Run("vertex is nearest for on-axis cq just left of vertex region", func(t *testing.T) {
+		// Vertex at x = −rab/2 = −1.5; focus at −5. For p1 ∈ (−α²/A, −A)
+		// the vertex is the minimiser.
+		sq := sph(0, -2.0, 0)
+		got := HyperbolaDmin(sa, sb, sq)
+		want := Dmin(sa, sb, sq)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("dmin = %v, oracle %v", got, want)
+		}
+	})
+}
+
+// TestHyperbolaNearTangent probes numerical behaviour when Sa and Sb are
+// almost tangent (B² → 0) — the hyperbola degenerates toward a ray.
+func TestHyperbolaNearTangent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		d := 2 + rng.Intn(4)
+		sa := randSphereT(rng, d, 10, 3)
+		sb := randSphereT(rng, d, 10, 3)
+		// Stretch sb's radius so the gap is tiny but positive.
+		gap := 1e-6 * (1 + rng.Float64())
+		dcc := distCenters(sa, sb)
+		sb.Radius = dcc - sa.Radius - gap
+		if sb.Radius < 0 {
+			continue
+		}
+		sq := randSphereT(rng, d, 10, 3)
+		in := instance{sa, sb, sq}
+		if nearBoundary(in, 1e-6) {
+			continue
+		}
+		got := Hyperbola{}.Dominates(sa, sb, sq)
+		want := Exact{}.Dominates(sa, sb, sq)
+		if got != want {
+			t.Fatalf("near-tangent i=%d: Hyperbola=%v Exact=%v\nsa=%v\nsb=%v\nsq=%v",
+				i, got, want, sa, sb, sq)
+		}
+	}
+}
+
+// TestHyperbolaFarOffsets checks robustness under large coordinate offsets,
+// the classic catastrophic-cancellation trap.
+func TestHyperbolaFarOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, offset := range []float64{1e3, 1e5, 1e6} {
+		mism := 0
+		total := 0
+		for i := 0; i < 5000; i++ {
+			d := 2 + rng.Intn(4)
+			in := randInstance(rng, d)
+			shift := make([]float64, d)
+			for j := range shift {
+				shift[j] = offset
+			}
+			in.sa = transformSphere(in.sa, identity(d), 1, shift)
+			in.sb = transformSphere(in.sb, identity(d), 1, shift)
+			in.sq = transformSphere(in.sq, identity(d), 1, shift)
+			// The boundary tolerance must scale with the offset: absolute
+			// float error grows linearly with coordinate magnitude.
+			if nearBoundary(in, 1e-7*offset) {
+				continue
+			}
+			total++
+			if (Hyperbola{}).Dominates(in.sa, in.sb, in.sq) != (Exact{}).Dominates(in.sa, in.sb, in.sq) {
+				mism++
+			}
+		}
+		if mism > 0 {
+			t.Errorf("offset %g: %d/%d verdict mismatches vs oracle", offset, mism, total)
+		}
+	}
+}
+
+func TestHyperbolaPanicsOnMixedDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed dimensionality did not panic")
+		}
+	}()
+	Hyperbola{}.Dominates(sph(1, 0, 0), sph(1, 0, 0, 0), sph(1, 0, 0))
+}
+
+func distCenters(a, b geom.Sphere) float64 {
+	var s float64
+	for i := range a.Center {
+		d := a.Center[i] - b.Center[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func identity(d int) [][]float64 {
+	m := make([][]float64, d)
+	for i := range m {
+		m[i] = make([]float64, d)
+		m[i][i] = 1
+	}
+	return m
+}

@@ -1,0 +1,130 @@
+package dominance
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Dominance is defined purely through Euclidean distances, so every
+// criterion's verdict must be invariant under rigid motions (rotation +
+// translation) and positive uniform scaling of the whole instance. These
+// metamorphic properties catch coordinate-system bugs that pointwise tests
+// cannot.
+
+// Criteria defined purely through pairwise distances must be invariant
+// under rotation + translation. MBR (axis-aligned boxes) and GP (collapses
+// onto the last coordinate) are deliberately excluded: their verdicts are
+// allowed to change under rotation — see
+// TestRotationNeverCreatesFalsePositives for the guarantee they do keep.
+func TestVerdictInvariantUnderRigidMotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	criteria := []Criterion{MinMax{}, Trigonometric{}, Hyperbola{}, Exact{}}
+	for i := 0; i < 3000; i++ {
+		d := 2 + rng.Intn(6)
+		in := randInstance(rng, d)
+		if nearBoundary(in, 1e-6) {
+			continue
+		}
+		rot := randRotation(rng, d)
+		tr := make([]float64, d)
+		for j := range tr {
+			tr[j] = rng.NormFloat64() * 50
+		}
+		for _, c := range criteria {
+			before := c.Dominates(in.sa, in.sb, in.sq)
+			after := c.Dominates(
+				transformSphere(in.sa, rot, 1, tr),
+				transformSphere(in.sb, rot, 1, tr),
+				transformSphere(in.sq, rot, 1, tr),
+			)
+			if before != after {
+				t.Fatalf("%s verdict changed under rigid motion (i=%d d=%d): %v -> %v\nsa=%v\nsb=%v\nsq=%v",
+					c.Name(), i, d, before, after, in.sa, in.sb, in.sq)
+			}
+		}
+	}
+}
+
+// Every criterion, including MBR and GP, must be invariant under pure
+// translation.
+func TestVerdictInvariantUnderTranslation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2027))
+	for i := 0; i < 3000; i++ {
+		d := 2 + rng.Intn(6)
+		in := randInstance(rng, d)
+		if nearBoundary(in, 1e-6) {
+			continue
+		}
+		tr := make([]float64, d)
+		for j := range tr {
+			tr[j] = rng.NormFloat64() * 50
+		}
+		for _, c := range All() {
+			before := c.Dominates(in.sa, in.sb, in.sq)
+			after := c.Dominates(
+				transformSphere(in.sa, identity(d), 1, tr),
+				transformSphere(in.sb, identity(d), 1, tr),
+				transformSphere(in.sq, identity(d), 1, tr),
+			)
+			if before != after {
+				t.Fatalf("%s verdict changed under translation (i=%d d=%d): %v -> %v\nsa=%v\nsb=%v\nsq=%v",
+					c.Name(), i, d, before, after, in.sa, in.sb, in.sq)
+			}
+		}
+	}
+}
+
+func TestVerdictInvariantUnderScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	zero := func(d int) []float64 { return make([]float64, d) }
+	for i := 0; i < 4000; i++ {
+		d := 2 + rng.Intn(6)
+		in := randInstance(rng, d)
+		if nearBoundary(in, 1e-6) {
+			continue
+		}
+		s := 0.01 + rng.Float64()*100
+		for _, c := range All() {
+			before := c.Dominates(in.sa, in.sb, in.sq)
+			after := c.Dominates(
+				transformSphere(in.sa, identity(d), s, zero(d)),
+				transformSphere(in.sb, identity(d), s, zero(d)),
+				transformSphere(in.sq, identity(d), s, zero(d)),
+			)
+			if before != after {
+				t.Fatalf("%s verdict changed under scaling by %v (i=%d d=%d): %v -> %v\nsa=%v\nsb=%v\nsq=%v",
+					c.Name(), s, i, d, before, after, in.sa, in.sb, in.sq)
+			}
+		}
+	}
+}
+
+// The GP criterion is NOT rotation-invariant in its collapsed coordinates
+// for d > 2 — but its verdict changes only between false and false or
+// false and true in the "safe" direction. This test documents the weaker
+// guarantee that holds: rotations never turn a correct criterion's verdict
+// into a false positive.
+func TestRotationNeverCreatesFalsePositives(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	oracle := Exact{}
+	for i := 0; i < 2000; i++ {
+		d := 3 + rng.Intn(5)
+		in := randInstance(rng, d)
+		if nearBoundary(in, 1e-6) {
+			continue
+		}
+		rot := randRotation(rng, d)
+		sa := transformSphere(in.sa, rot, 1, make([]float64, d))
+		sb := transformSphere(in.sb, rot, 1, make([]float64, d))
+		sq := transformSphere(in.sq, rot, 1, make([]float64, d))
+		truth := oracle.Dominates(sa, sb, sq)
+		for _, c := range All() {
+			if !c.Correct() {
+				continue
+			}
+			if c.Dominates(sa, sb, sq) && !truth {
+				t.Fatalf("%s false positive after rotation\nsa=%v\nsb=%v\nsq=%v", c.Name(), sa, sb, sq)
+			}
+		}
+	}
+}

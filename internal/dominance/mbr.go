@@ -1,0 +1,34 @@
+package dominance
+
+import (
+	"hyperdom/internal/geom"
+	"hyperdom/internal/hrect"
+)
+
+// MBR is the adapted MBR decision criterion of Section 2.2: the three
+// spheres are replaced by their minimum bounding hyperrectangles and the
+// DDC-optimal rectangle criterion of Emrich et al. (SIGMOD 2010, ref [14])
+// is applied to those.
+//
+// The rectangle criterion itself is correct and sound for rectangles; the
+// adaptation to spheres is correct (Lemma 4) but not sound (Lemma 5),
+// because the MBRs of two disjoint spheres can intersect.
+type MBR struct{}
+
+// Name implements Criterion.
+func (MBR) Name() string { return "MBR" }
+
+// Correct implements Criterion.
+func (MBR) Correct() bool { return true }
+
+// Sound implements Criterion.
+func (MBR) Sound() bool { return false }
+
+// Dominates implements Criterion in O(d) time. Matching the adaptation the
+// paper describes (and costs), it first constructs the three minimum
+// bounding hyperrectangles — an O(d) step of its own — and then applies the
+// O(d) rectangle criterion.
+func (MBR) Dominates(sa, sb, sq geom.Sphere) bool {
+	checkDims(sa, sb, sq)
+	return hrect.Optimal(sa.MBR(), sb.MBR(), sq.MBR())
+}

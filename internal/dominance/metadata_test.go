@@ -1,0 +1,55 @@
+package dominance
+
+import "testing"
+
+// TestCriterionMetadata pins the Name/Correct/Sound contract of every
+// criterion, including the test-oriented ones.
+func TestCriterionMetadata(t *testing.T) {
+	cases := []struct {
+		c       Criterion
+		name    string
+		correct bool
+		sound   bool
+	}{
+		{Hyperbola{}, "Hyperbola", true, true},
+		{HyperbolaLambda{}, "Hyperbola-λ", true, true},
+		{MinMax{}, "MinMax", true, false},
+		{MBR{}, "MBR", true, false},
+		{GP{}, "GP", true, false},
+		{Trigonometric{}, "Trigonometric", false, true},
+		{Exact{}, "Exact", true, true},
+		{MonteCarlo{}, "MonteCarlo", false, true},
+	}
+	for _, tc := range cases {
+		if tc.c.Name() != tc.name {
+			t.Errorf("Name = %q, want %q", tc.c.Name(), tc.name)
+		}
+		if tc.c.Correct() != tc.correct {
+			t.Errorf("%s Correct = %v", tc.name, tc.c.Correct())
+		}
+		if tc.c.Sound() != tc.sound {
+			t.Errorf("%s Sound = %v", tc.name, tc.c.Sound())
+		}
+	}
+}
+
+// TestDminPanicsOnOverlap: the boundary does not exist for overlapping
+// objects, and asking for a distance to it is a caller bug.
+func TestDminPanicsOnOverlap(t *testing.T) {
+	sa := sph(2, 0, 0)
+	sb := sph(2, 1, 0)
+	sq := sph(1, 9, 9)
+	for name, fn := range map[string]func(){
+		"Dmin":          func() { Dmin(sa, sb, sq) },
+		"HyperbolaDmin": func() { HyperbolaDmin(sa, sb, sq) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on overlapping objects did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,27 @@
+package dominance
+
+import "hyperdom/internal/geom"
+
+// MinMax is the MinMax decision criterion of Section 2.2 (refs [26, 15] of
+// the paper): it reports true iff MaxDist(Sa,Sq) < MinDist(Sb,Sq).
+//
+// It is correct (Lemma 2) but not sound (Lemma 3): when Sq has non-zero
+// radius, dominance can hold even though the max/min distance interval of Sa
+// and the one of Sb overlap. It is sound when Sq is a point.
+type MinMax struct{}
+
+// Name implements Criterion.
+func (MinMax) Name() string { return "MinMax" }
+
+// Correct implements Criterion. MinMax never produces false positives.
+func (MinMax) Correct() bool { return true }
+
+// Sound implements Criterion. MinMax produces false negatives whenever the
+// query sphere is fat enough (Lemma 3).
+func (MinMax) Sound() bool { return false }
+
+// Dominates implements Criterion in O(d) time.
+func (MinMax) Dominates(sa, sb, sq geom.Sphere) bool {
+	checkDims(sa, sb, sq)
+	return geom.MaxDist(sa, sq) < geom.MinDist(sb, sq)
+}

@@ -1,0 +1,182 @@
+package dominance
+
+import (
+	"math"
+	"math/rand"
+
+	"hyperdom/internal/geom"
+	"hyperdom/internal/vec"
+)
+
+// Witness is a certificate of non-dominance: a point q ∈ Sq at which the
+// MDD margin Dist(cb,q) − Dist(ca,q) − (ra+rb) is non-positive (or, in the
+// overlap case, a pair of coincident object points).
+type Witness struct {
+	Q      []float64 // the query point certifying the failure
+	Margin float64   // Dist(cb,Q) − Dist(ca,Q) − (ra+rb); ≤ 0 proves non-dominance
+}
+
+// FindWitness searches for a witness that sa does NOT dominate sb wrt sq,
+// using random sampling inside sq followed by projected gradient descent on
+// the MDD margin. It operates entirely in the original d-dimensional space,
+// independently of the 2-D reduction the deterministic criteria share, which
+// makes it a useful cross-check in tests.
+//
+// A non-nil result is a proof of non-dominance (up to floating-point
+// evaluation of the margin). A nil result proves nothing: the search is
+// randomized and can miss witnesses.
+func FindWitness(sa, sb, sq geom.Sphere, samples int, rng *rand.Rand) *Witness {
+	checkDims(sa, sb, sq)
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if geom.Overlap(sa, sb) {
+		// Lemma 1: any point of the intersection works with any q; report
+		// cq with the (≤ 0) margin for uniformity.
+		q := vec.Clone(sq.Center)
+		return &Witness{Q: q, Margin: margin(sa, sb, q)}
+	}
+
+	best := vec.Clone(sq.Center)
+	bestM := margin(sa, sb, best)
+	d := sq.Dim()
+
+	// Deterministic seed candidates: cq pushed toward cb and away from ca —
+	// the directions in which the margin tends to shrink.
+	for _, dir := range [][]float64{
+		vec.Sub(sb.Center, sq.Center),
+		vec.Sub(sq.Center, sa.Center),
+		vec.Sub(sa.Center, sb.Center),
+	} {
+		u, n := vec.Unit(dir)
+		if n == 0 {
+			continue
+		}
+		q := vec.Axpy(make([]float64, d), sq.Radius, u, sq.Center)
+		if m := margin(sa, sb, q); m < bestM {
+			best, bestM = q, m
+		}
+	}
+
+	for i := 0; i < samples && bestM > 0; i++ {
+		q := sampleBall(sq, rng)
+		if m := margin(sa, sb, q); m < bestM {
+			best, bestM = q, m
+		}
+	}
+
+	// Projected gradient descent from the best point found so far.
+	best, bestM = descend(sa, sb, sq, best, bestM)
+	if bestM <= 0 {
+		return &Witness{Q: best, Margin: bestM}
+	}
+	return nil
+}
+
+// MonteCarlo is a randomized falsifier packaged as a Criterion: it returns
+// false iff FindWitness locates a certificate, and true otherwise. A false
+// verdict is always justified (sound, up to float evaluation); a true
+// verdict is only probabilistic (not correct in the worst case, though
+// misses are rare with a generous sample budget). Intended for tests.
+type MonteCarlo struct {
+	Samples int   // sampling budget per call; 0 means 512
+	Seed    int64 // seed for the internal generator; calls are deterministic given the inputs
+}
+
+// Name implements Criterion.
+func (MonteCarlo) Name() string { return "MonteCarlo" }
+
+// Correct implements Criterion: sampling can miss witnesses, so a true
+// verdict carries no guarantee.
+func (MonteCarlo) Correct() bool { return false }
+
+// Sound implements Criterion: every false verdict is backed by a witness.
+func (MonteCarlo) Sound() bool { return true }
+
+// Dominates implements Criterion.
+func (m MonteCarlo) Dominates(sa, sb, sq geom.Sphere) bool {
+	n := m.Samples
+	if n == 0 {
+		n = 512
+	}
+	rng := rand.New(rand.NewSource(m.Seed + 1))
+	return FindWitness(sa, sb, sq, n, rng) == nil
+}
+
+// margin returns Dist(cb,q) − Dist(ca,q) − (ra+rb).
+func margin(sa, sb geom.Sphere, q []float64) float64 {
+	return vec.Dist(sb.Center, q) - vec.Dist(sa.Center, q) - (sa.Radius + sb.Radius)
+}
+
+// descend runs projected gradient descent on the margin within sq.
+func descend(sa, sb, sq geom.Sphere, q []float64, m float64) ([]float64, float64) {
+	d := len(q)
+	grad := make([]float64, d)
+	cand := make([]float64, d)
+	step := sq.Radius / 4
+	if step == 0 {
+		return q, m
+	}
+	for iter := 0; iter < 80 && m > 0; iter++ {
+		// ∇margin = (q−cb)/‖q−cb‖ − (q−ca)/‖q−ca‖.
+		db := vec.Dist(sb.Center, q)
+		da := vec.Dist(sa.Center, q)
+		if da == 0 || db == 0 {
+			break
+		}
+		for i := 0; i < d; i++ {
+			grad[i] = (q[i]-sb.Center[i])/db - (q[i]-sa.Center[i])/da
+		}
+		gn := vec.Norm(grad)
+		if gn < 1e-15 {
+			break
+		}
+		improved := false
+		for ; step > 1e-12*sq.Radius; step /= 2 {
+			vec.Axpy(cand, -step/gn, grad, q)
+			projectBall(cand, sq)
+			if mc := margin(sa, sb, cand); mc < m {
+				copy(q, cand)
+				m = mc
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return q, m
+}
+
+// projectBall clamps p into the ball sq in place.
+func projectBall(p []float64, sq geom.Sphere) {
+	dist := vec.Dist(p, sq.Center)
+	if dist <= sq.Radius || dist == 0 {
+		return
+	}
+	t := sq.Radius / dist
+	for i := range p {
+		p[i] = sq.Center[i] + t*(p[i]-sq.Center[i])
+	}
+}
+
+// sampleBall returns a uniform random point in the ball s.
+func sampleBall(s geom.Sphere, rng *rand.Rand) []float64 {
+	d := s.Dim()
+	v := make([]float64, d)
+	for {
+		var n2 float64
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			n2 += v[i] * v[i]
+		}
+		if n2 > 0 {
+			r := s.Radius * math.Pow(rng.Float64(), 1/float64(d)) / math.Sqrt(n2)
+			for i := range v {
+				v[i] = s.Center[i] + r*v[i]
+			}
+			return v
+		}
+	}
+}

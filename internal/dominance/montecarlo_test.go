@@ -1,0 +1,89 @@
+package dominance
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/geom"
+)
+
+// TestWitnessRefutesHyperbola: whenever the sampler finds a witness, the
+// Hyperbola verdict must be false — a fully independent check performed in
+// the original d-dimensional space, with no shared 2-D reduction.
+func TestWitnessRefutesHyperbola(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	h := Hyperbola{}
+	found := 0
+	for i := 0; i < 8000; i++ {
+		d := 1 + rng.Intn(7)
+		in := randInstance(rng, d)
+		if nearBoundary(in, 1e-6) {
+			continue
+		}
+		w := FindWitness(in.sa, in.sb, in.sq, 256, rng)
+		if w == nil {
+			continue
+		}
+		found++
+		if !in.sq.Contains(w.Q) {
+			// Allow a hair of float slack on the ball membership.
+			grown := geom.NewSphere(in.sq.Center, in.sq.Radius*(1+1e-9)+1e-12)
+			if !grown.Contains(w.Q) {
+				t.Fatalf("witness outside Sq: %v not in %v", w.Q, in.sq)
+			}
+		}
+		if h.Dominates(in.sa, in.sb, in.sq) {
+			t.Fatalf("witness (margin %v) refutes a true Hyperbola verdict\nsa=%v\nsb=%v\nsq=%v\nq=%v",
+				w.Margin, in.sa, in.sb, in.sq, w.Q)
+		}
+	}
+	if found < 1000 {
+		t.Errorf("only %d witnesses found; the generator should produce plenty of non-dominant instances", found)
+	}
+}
+
+// TestWitnessFoundWhenClearlyNotDominant: on instances where the oracle
+// reports non-dominance with a fat margin, the sampler should almost always
+// find the witness.
+func TestWitnessFoundWhenClearlyNotDominant(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	missed, total := 0, 0
+	for i := 0; i < 4000; i++ {
+		d := 1 + rng.Intn(6)
+		in := randInstance(rng, d)
+		// Only clearly-false instances: margin at least 10% of the radius.
+		if (Exact{}).Dominates(in.sa, in.sb, in.sq) || nearBoundary(in, 0.1) {
+			continue
+		}
+		total++
+		if FindWitness(in.sa, in.sb, in.sq, 512, rng) == nil {
+			missed++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no clearly-non-dominant instances generated")
+	}
+	if missed > total/100 {
+		t.Errorf("sampler missed %d/%d clear witnesses", missed, total)
+	}
+}
+
+// TestMonteCarloCriterion exercises the Criterion packaging.
+func TestMonteCarloCriterion(t *testing.T) {
+	mc := MonteCarlo{Samples: 256, Seed: 1}
+	if mc.Name() != "MonteCarlo" || mc.Correct() || !mc.Sound() {
+		t.Error("MonteCarlo metadata wrong")
+	}
+	// Clear dominance: no witness exists.
+	if !mc.Dominates(sph(1, 0, 0), sph(1, 20, 0), sph(1, -10, 0)) {
+		t.Error("MonteCarlo found a bogus witness for clear dominance")
+	}
+	// Clear non-dominance.
+	if mc.Dominates(sph(1, 0, 0), sph(1, 6, 0), sph(3.5, -1, 0)) {
+		t.Error("MonteCarlo failed to find a witness for a clearly non-dominant instance")
+	}
+	// Overlap is certain.
+	if mc.Dominates(sph(2, 0, 0), sph(2, 1, 0), sph(1, 5, 5)) {
+		t.Error("MonteCarlo must report false for overlapping objects")
+	}
+}

@@ -1,0 +1,48 @@
+package dominance
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHyperbolaVsExactSoak is the heavyweight agreement sweep: a few
+// hundred thousand instances spanning dimensionalities, coordinate scales
+// and radius regimes. Skipped under -short; the lighter
+// TestHyperbolaVsExactRandom runs always.
+func TestHyperbolaVsExactSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	rng := rand.New(rand.NewSource(20240622))
+	h := Hyperbola{}
+	e := Exact{}
+	configs := []struct {
+		d     int
+		scale float64
+		maxR  float64
+	}{
+		{1, 10, 4}, {2, 10, 4}, {3, 10, 4}, {4, 1000, 2}, {6, 10, 40},
+		{8, 0.01, 0.004}, {12, 10, 4}, {24, 100, 400}, {64, 10, 4},
+	}
+	const perConfig = 25000
+	for _, cfg := range configs {
+		checked := 0
+		for i := 0; i < perConfig; i++ {
+			sa := randSphereT(rng, cfg.d, cfg.scale, cfg.maxR)
+			sb := randSphereT(rng, cfg.d, cfg.scale, cfg.maxR)
+			sq := randSphereT(rng, cfg.d, cfg.scale, cfg.maxR)
+			in := instance{sa, sb, sq}
+			if nearBoundary(in, 1e-7*(cfg.scale+cfg.maxR)) {
+				continue
+			}
+			checked++
+			if h.Dominates(sa, sb, sq) != e.Dominates(sa, sb, sq) {
+				t.Fatalf("disagreement at d=%d scale=%v maxR=%v i=%d\nsa=%v\nsb=%v\nsq=%v",
+					cfg.d, cfg.scale, cfg.maxR, i, sa, sb, sq)
+			}
+		}
+		if checked < perConfig/2 {
+			t.Errorf("config %+v: only %d/%d instances usable", cfg, checked, perConfig)
+		}
+	}
+}

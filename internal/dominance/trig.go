@@ -1,0 +1,81 @@
+package dominance
+
+import (
+	"math"
+
+	"hyperdom/internal/geom"
+)
+
+// Trigonometric is the adapted Trigonometric decision criterion of Emrich et
+// al. (SSDBM 2010, ref [12] of the paper), described in the paper's
+// appendix. It is sound and O(d) but not correct (Lemma 11).
+//
+// The MDD condition asks whether f(q) = Dist(cb,q) − Dist(ca,q) − (ra+rb)
+// stays positive over Sq. Because optimising f directly is hard, the method
+// optimises the surrogate g(q) = Dist(cb,q)² − Dist(ca,q)² − (ra+rb)
+// instead, whose extrema over the ball Sq are at the two antipodal points
+//
+//	q1, q2 = cq ∓ rq·(ca−cb)/‖ca−cb‖
+//
+// (g is linear in q, so its extrema lie on the boundary sphere along its
+// gradient). The criterion then inspects the sign of the true f at those
+// two surrogate extrema and, following the appendix literally, returns
+// false iff f(q1) and f(q2) have different signs or either is zero — i.e.
+// iff a sign change of f inside Sq has been detected. A detected sign
+// change implies (by continuity) a point of Sq where f ≤ 0, so every false
+// verdict is justified (Lemma 12: sound). The true verdict carries no
+// guarantee at all: f can dip below zero between two positive probes, and
+// when Sa and Sb overlap — or the query is fat enough — BOTH probes go
+// negative, the signs agree, and the criterion answers true for an
+// instance that is clearly non-dominant. The latter failure mode is why
+// the paper's Figures 8–10 show Trigonometric's precision collapsing as
+// the average radius μ grows.
+type Trigonometric struct{}
+
+// Name implements Criterion.
+func (Trigonometric) Name() string { return "Trigonometric" }
+
+// Correct implements Criterion (Lemma 11: no).
+func (Trigonometric) Correct() bool { return false }
+
+// Sound implements Criterion (Lemma 12).
+func (Trigonometric) Sound() bool { return true }
+
+// Dominates implements Criterion in O(d) time.
+func (Trigonometric) Dominates(sa, sb, sq geom.Sphere) bool {
+	d := checkDims(sa, sb, sq)
+	ca, cb, cq := sa.Center, sb.Center, sq.Center
+	rab := sa.Radius + sb.Radius
+
+	var dcc2 float64
+	for i := 0; i < d; i++ {
+		e := cb[i] - ca[i]
+		dcc2 += e * e
+	}
+	if dcc2 == 0 {
+		// Coincident centers: f(cq) = −rab ≤ 0, a witness at q = cq.
+		return false
+	}
+	t := sq.Radius / math.Sqrt(dcc2)
+
+	// q1 = cq − t·(ca−cb), q2 = cq + t·(ca−cb); accumulate all four squared
+	// distances in one pass without materialising q1 and q2.
+	var da1, db1, da2, db2 float64
+	for i := 0; i < d; i++ {
+		w := t * (ca[i] - cb[i])
+		q1 := cq[i] - w
+		q2 := cq[i] + w
+		e := q1 - ca[i]
+		da1 += e * e
+		e = q1 - cb[i]
+		db1 += e * e
+		e = q2 - ca[i]
+		da2 += e * e
+		e = q2 - cb[i]
+		db2 += e * e
+	}
+	f1 := math.Sqrt(db1) - math.Sqrt(da1) - rab
+	f2 := math.Sqrt(db2) - math.Sqrt(da2) - rab
+	// False iff a sign change (or zero) is detected between the probes.
+	return f1*f2 > 0
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	return Config{Scale: 0.01, Seed: 42, MinTiming: time.Millisecond}
+}
+
+// TestFig8Shapes verifies the paper's qualitative claims on the μ sweep:
+// every criterion except Trigonometric has perfect precision, only
+// Hyperbola and Trigonometric have perfect recall, and the unsound
+// criteria's recall degrades as μ grows.
+func TestFig8Shapes(t *testing.T) {
+	res := Fig8(tiny())
+	if len(res.Rows) != len(RadiusSweep) {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	assertDominanceShapes(t, res)
+	// Recall of MinMax must not improve as radii fatten (Figure 8c).
+	first := res.Rows[0].Metrics["MinMax"].Recall
+	last := res.Rows[len(res.Rows)-1].Metrics["MinMax"].Recall
+	if last > first {
+		t.Errorf("MinMax recall grew with μ: %v -> %v", first, last)
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	res := Fig9(tiny())
+	if len(res.Rows) != len(DimSweep) {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	assertDominanceShapes(t, res)
+}
+
+func TestFig10Shapes(t *testing.T) {
+	res := Fig10(tiny())
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	wantOrder := []string{"NBA", "Forest", "Color", "Texture"}
+	for i, row := range res.Rows {
+		if row.Label != wantOrder[i] {
+			t.Errorf("row %d = %s, want %s", i, row.Label, wantOrder[i])
+		}
+	}
+	assertDominanceShapes(t, res)
+}
+
+func TestFig11TimesGrowWithDimensionality(t *testing.T) {
+	// All criteria are O(d): time at d=100 must exceed time at d=25 — a
+	// 4× dimensionality gap that survives scheduler noise. Wall-clock
+	// measurements under a parallel test run can still misbehave once in a
+	// while, so allow one retry with a fatter timing budget.
+	for attempt := 0; ; attempt++ {
+		cfg := tiny()
+		cfg.MinTiming = time.Duration(attempt+1) * 5 * time.Millisecond
+		res := Fig11(cfg)
+		if len(res.Rows) != len(HighDimSweep) {
+			t.Fatalf("got %d rows", len(res.Rows))
+		}
+		ok := true
+		for _, name := range CriterionNames() {
+			lo := res.Rows[0].Metrics[name].NsPerOp
+			hi := res.Rows[len(res.Rows)-1].Metrics[name].NsPerOp
+			if hi <= lo {
+				ok = false
+				if attempt >= 2 {
+					t.Errorf("%s: ns/op did not grow from d=25 (%v) to d=100 (%v)", name, lo, hi)
+				}
+			}
+		}
+		if ok || attempt >= 2 {
+			return
+		}
+	}
+}
+
+func TestFig12AllCombosPresent(t *testing.T) {
+	res := Fig12(tiny())
+	want := []string{"G-G", "G-U", "U-G", "U-U"}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if row.Label != want[i] {
+			t.Errorf("row %d = %s, want %s", i, row.Label, want[i])
+		}
+	}
+}
+
+func assertDominanceShapes(t *testing.T, res DomResult) {
+	t.Helper()
+	for _, row := range res.Rows {
+		for _, name := range CriterionNames() {
+			m, ok := row.Metrics[name]
+			if !ok {
+				t.Fatalf("%s row %s: missing criterion %s", res.Figure, row.Label, name)
+			}
+			if m.NsPerOp <= 0 {
+				t.Errorf("%s row %s: %s ns/op = %v", res.Figure, row.Label, name, m.NsPerOp)
+			}
+			if name != "Trigonometric" && m.Precision != 1 {
+				t.Errorf("%s row %s: %s precision = %v, want 1 (correct criterion)",
+					res.Figure, row.Label, name, m.Precision)
+			}
+			if (name == "Hyperbola" || name == "Trigonometric") && m.Recall != 1 {
+				t.Errorf("%s row %s: %s recall = %v, want 1 (sound criterion)",
+					res.Figure, row.Label, name, m.Recall)
+			}
+		}
+	}
+}
+
+func TestKnnFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kNN experiment suite in -short mode")
+	}
+	cfg := tiny()
+	for _, tc := range []struct {
+		name string
+		run  func(Config) KnnResult
+		rows int
+	}{
+		{"Fig13", Fig13, len(RadiusSweep)},
+		{"Fig14", Fig14, len(KSweep)},
+		{"Fig15", Fig15, len(SizeSweep)},
+		{"Fig16", Fig16, len(DimSweep)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := tc.run(cfg)
+			if len(res.Rows) != tc.rows {
+				t.Fatalf("got %d rows, want %d", len(res.Rows), tc.rows)
+			}
+			for _, row := range res.Rows {
+				for _, v := range KnnVariants() {
+					m, ok := row.Metrics[v.Name()]
+					if !ok {
+						t.Fatalf("row %s: missing variant %s", row.Label, v.Name())
+					}
+					if m.QueryNs <= 0 {
+						t.Errorf("row %s %s: query time %v", row.Label, v.Name(), m.QueryNs)
+					}
+					if strings.Contains(v.Name(), "Hyper") && m.Precision != 1 {
+						t.Errorf("row %s: %s precision = %v, want 1", row.Label, v.Name(), m.Precision)
+					}
+					if m.Precision > 1 || m.Precision <= 0 {
+						t.Errorf("row %s %s: precision %v out of range", row.Label, v.Name(), m.Precision)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	res := Fig8(Config{Scale: 0.005, Seed: 7, MinTiming: time.Millisecond})
+	for _, tab := range []string{
+		res.TimeTable().Render(),
+		res.PrecisionTable().Render(),
+		res.RecallTable().Render(),
+	} {
+		if !strings.Contains(tab, "Hyperbola") || !strings.Contains(tab, "MinMax") {
+			t.Errorf("table missing criterion columns:\n%s", tab)
+		}
+	}
+}
+
+func TestIndexComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("index comparison in -short mode")
+	}
+	res := RunIndexComparison(Config{Scale: 0.02, Seed: 3})
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for _, name := range IndexNames() {
+			m, ok := row.Metrics[name]
+			if !ok {
+				t.Fatalf("d=%d missing index %s", row.Dim, name)
+			}
+			if m.Nodes <= 0 || m.QueryNs <= 0 {
+				t.Errorf("d=%d %s: non-positive metrics %+v", row.Dim, name, m)
+			}
+		}
+	}
+	// The headline claim: at the highest dimensionality the sphere tree
+	// visits fewer nodes than the rectangle tree.
+	last := res.Rows[len(res.Rows)-1]
+	if last.Metrics["SS-tree"].Nodes >= last.Metrics["R-tree"].Nodes {
+		t.Errorf("d=%d: SS-tree %.0f nodes vs R-tree %.0f; expected the sphere tree to win",
+			last.Dim, last.Metrics["SS-tree"].Nodes, last.Metrics["R-tree"].Nodes)
+	}
+	if !strings.Contains(res.Table().Render(), "SS-tree nodes") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestKnnVariantNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, v := range KnnVariants() {
+		names[v.Name()] = true
+	}
+	for _, want := range []string{
+		"HS(Hyper)", "HS(MinMax)", "HS(MBR)", "HS(GP)",
+		"DF(Hyper)", "DF(MinMax)", "DF(MBR)", "DF(GP)",
+	} {
+		if !names[want] {
+			t.Errorf("missing variant %s", want)
+		}
+	}
+}

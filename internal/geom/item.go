@@ -1,0 +1,8 @@
+package geom
+
+// Item is a hypersphere labelled with a caller-assigned identifier — the
+// unit stored in indexes (SS-tree, M-tree) and returned from queries.
+type Item struct {
+	Sphere Sphere
+	ID     int
+}

@@ -1,0 +1,192 @@
+package geom
+
+import (
+	"fmt"
+
+	"hyperdom/internal/vec"
+)
+
+// Rect is a closed axis-aligned d-dimensional hyperrectangle [Lo, Hi].
+type Rect struct {
+	Lo []float64
+	Hi []float64
+}
+
+// NewRect returns the rectangle [lo, hi]. It panics if the bounds are
+// malformed (differing lengths or lo[i] > hi[i]).
+func NewRect(lo, hi []float64) Rect {
+	if len(lo) != len(hi) || len(lo) == 0 {
+		panic(fmt.Sprintf("geom: NewRect with bounds of length %d and %d", len(lo), len(hi)))
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			panic(fmt.Sprintf("geom: NewRect with lo[%d]=%g > hi[%d]=%g", i, lo[i], i, hi[i]))
+		}
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// Dim returns the dimensionality of the rectangle.
+func (r Rect) Dim() int { return len(r.Lo) }
+
+// Clone returns a deep copy of r.
+func (r Rect) Clone() Rect {
+	return Rect{Lo: vec.Clone(r.Lo), Hi: vec.Clone(r.Hi)}
+}
+
+// Center returns the center point of r as a new slice.
+func (r Rect) Center() []float64 {
+	out := make([]float64, r.Dim())
+	for i := range out {
+		out[i] = (r.Lo[i] + r.Hi[i]) / 2
+	}
+	return out
+}
+
+// Contains reports whether point p lies inside or on r.
+func (r Rect) Contains(p []float64) bool {
+	if len(p) != r.Dim() {
+		return false
+	}
+	for i, pi := range p {
+		if pi < r.Lo[i] || pi > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	if r.Dim() != s.Dim() {
+		return false
+	}
+	for i := range r.Lo {
+		if r.Hi[i] < s.Lo[i] || s.Hi[i] < r.Lo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("Rect(lo=%v, hi=%v)", r.Lo, r.Hi)
+}
+
+// MinDistRect returns the minimum distance between a point of a and a point
+// of b, 0 if they intersect.
+func MinDistRect(a, b Rect) float64 {
+	var s float64
+	for i := range a.Lo {
+		var d float64
+		switch {
+		case a.Hi[i] < b.Lo[i]:
+			d = b.Lo[i] - a.Hi[i]
+		case b.Hi[i] < a.Lo[i]:
+			d = a.Lo[i] - b.Hi[i]
+		}
+		s += d * d
+	}
+	return sqrt(s)
+}
+
+// MaxDistRect returns the maximum distance between a point of a and a point
+// of b.
+func MaxDistRect(a, b Rect) float64 {
+	var s float64
+	for i := range a.Lo {
+		d := maxf(b.Hi[i]-a.Lo[i], a.Hi[i]-b.Lo[i])
+		s += d * d
+	}
+	return sqrt(s)
+}
+
+// UnionRect returns the smallest rectangle containing both a and b.
+func UnionRect(a, b Rect) Rect {
+	d := a.Dim()
+	if b.Dim() != d {
+		panic("geom: UnionRect of rectangles with mixed dimensionality")
+	}
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := 0; i < d; i++ {
+		lo[i] = a.Lo[i]
+		if b.Lo[i] < lo[i] {
+			lo[i] = b.Lo[i]
+		}
+		hi[i] = a.Hi[i]
+		if b.Hi[i] > hi[i] {
+			hi[i] = b.Hi[i]
+		}
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// UnionRectInto grows dst in place to contain r. dst and r must share one
+// dimensionality.
+func UnionRectInto(dst *Rect, r Rect) {
+	for i := range dst.Lo {
+		if r.Lo[i] < dst.Lo[i] {
+			dst.Lo[i] = r.Lo[i]
+		}
+		if r.Hi[i] > dst.Hi[i] {
+			dst.Hi[i] = r.Hi[i]
+		}
+	}
+}
+
+// Volume returns the d-dimensional volume of r (the product of its
+// extents). Degenerate rectangles have volume 0.
+func (r Rect) Volume() float64 {
+	v := 1.0
+	for i := range r.Lo {
+		v *= r.Hi[i] - r.Lo[i]
+	}
+	return v
+}
+
+// MinDistRectSphere returns the minimum distance between a point of the
+// rectangle and a point of the sphere (0 when they intersect).
+func MinDistRectSphere(r Rect, s Sphere) float64 {
+	var sum float64
+	for i, c := range s.Center {
+		var d float64
+		switch {
+		case c < r.Lo[i]:
+			d = r.Lo[i] - c
+		case c > r.Hi[i]:
+			d = c - r.Hi[i]
+		}
+		sum += d * d
+	}
+	dist := sqrt(sum) - s.Radius
+	if dist > 0 {
+		return dist
+	}
+	return 0
+}
+
+// Corners returns all 2^d corner points of r. It is exponential in the
+// dimensionality and exists to support the corner-based decision criterion
+// and exhaustive low-dimensional tests.
+func (r Rect) Corners() [][]float64 {
+	d := r.Dim()
+	if d > 20 {
+		panic("geom: Corners called on rectangle with more than 20 dimensions")
+	}
+	n := 1 << uint(d)
+	out := make([][]float64, n)
+	for m := 0; m < n; m++ {
+		p := make([]float64, d)
+		for i := 0; i < d; i++ {
+			if m&(1<<uint(i)) != 0 {
+				p[i] = r.Hi[i]
+			} else {
+				p[i] = r.Lo[i]
+			}
+		}
+		out[m] = p
+	}
+	return out
+}

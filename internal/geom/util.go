@@ -1,0 +1,12 @@
+package geom
+
+import "math"
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,52 @@
+package hrect
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkOptimalVsCorner demonstrates why the paper dismisses the
+// corner-based criterion for high dimensionality (Section 2.2): the
+// DDC-optimal criterion is O(d) while the corner-based one is O(d·2^d),
+// despite deciding identically.
+func BenchmarkOptimalVsCorner(b *testing.B) {
+	for _, d := range []int{2, 8, 14} {
+		rng := rand.New(rand.NewSource(int64(d)))
+		type triple struct{ a, bb, q int }
+		rects := make([]struct{ ra, rb, rq [2][]float64 }, 128)
+		for i := range rects {
+			mk := func() [2][]float64 {
+				lo := make([]float64, d)
+				hi := make([]float64, d)
+				for j := range lo {
+					a := rng.NormFloat64() * 10
+					lo[j], hi[j] = a, a+rng.Float64()*5
+				}
+				return [2][]float64{lo, hi}
+			}
+			rects[i].ra, rects[i].rb, rects[i].rq = mk(), mk(), mk()
+		}
+		_ = triple{}
+		b.Run(fmt.Sprintf("d=%d/Optimal", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := rects[i%len(rects)]
+				Optimal(
+					mkRect(r.ra[0], r.ra[1]),
+					mkRect(r.rb[0], r.rb[1]),
+					mkRect(r.rq[0], r.rq[1]),
+				)
+			}
+		})
+		b.Run(fmt.Sprintf("d=%d/Corner", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := rects[i%len(rects)]
+				Corner(
+					mkRect(r.ra[0], r.ra[1]),
+					mkRect(r.rb[0], r.rb[1]),
+					mkRect(r.rq[0], r.rq[1]),
+				)
+			}
+		})
+	}
+}

@@ -1,0 +1,115 @@
+// Package hrect implements spatial-dominance decision criteria for
+// axis-aligned hyperrectangles, following Emrich et al., "Boosting spatial
+// pruning: on optimal pruning of MBRs" (SIGMOD 2010) — reference [14] of the
+// hypersphere-dominance paper.
+//
+// Dominance for rectangles mirrors Definition 1 of the paper:
+// Ra dominates Rb wrt Rq iff ∀q ∈ Rq, ∀a ∈ Ra, ∀b ∈ Rb:
+// Dist(a,q) < Dist(b,q), or equivalently
+// ∀q ∈ Rq: MaxDist(Ra,q) < MinDist(Rb,q).
+//
+// Three criteria are provided:
+//
+//   - MinMax:  correct, not sound, O(d)
+//   - Corner:  correct and sound, O(d·2^d)
+//   - Optimal: correct and sound, O(d) — the "DDC-optimal" criterion the
+//     sphere MBR adaptation (Section 2.2 of the paper) plugs into.
+//
+// The decomposition behind Optimal: with q constrained to the box Rq,
+//
+//	max_{q∈Rq} (MaxDist(Ra,q)² − MinDist(Rb,q)²) = Σ_i max_{q_i∈Rq_i} g_i(q_i)
+//
+// where g_i(q) = maxdist_i(Ra_i,q)² − mindist_i(Rb_i,q)² is the per-dimension
+// contribution. Each g_i is continuous and piecewise {linear, convex
+// quadratic} with a derivative that is continuous everywhere except at the
+// center of Ra_i, where it has a local minimum; hence the maximum over an
+// interval is attained at one of the interval's two endpoints, and the whole
+// criterion is O(d).
+package hrect
+
+import (
+	"hyperdom/internal/geom"
+)
+
+// MinMax reports the MinMax decision criterion for rectangles:
+// MaxDist(Ra,Rq) < MinDist(Rb,Rq). Correct but not sound.
+func MinMax(ra, rb, rq geom.Rect) bool {
+	return geom.MaxDistRect(ra, rq) < geom.MinDistRect(rb, rq)
+}
+
+// Corner reports the corner-based decision criterion: for every corner q of
+// Rq, MaxDist(Ra,q) < MinDist(Rb,q). Correct and sound, but exponential in
+// the dimensionality; it exists as the reference implementation that the
+// O(d) Optimal criterion is validated against.
+func Corner(ra, rb, rq geom.Rect) bool {
+	for _, q := range rq.Corners() {
+		if maxDistPoint(ra, q) >= minDistPoint(rb, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// Optimal reports the DDC-optimal decision criterion: correct, sound and
+// O(d).
+func Optimal(ra, rb, rq geom.Rect) bool {
+	var sum float64
+	for i := range rq.Lo {
+		sum += GMax1D(ra.Lo[i], ra.Hi[i], rb.Lo[i], rb.Hi[i], rq.Lo[i], rq.Hi[i])
+	}
+	return sum < 0
+}
+
+// GMax1D returns max_{q ∈ [ql,qh]} g(q) for one dimension, where
+// g(q) = maxdist([al,ah], q)² − mindist([bl,bh], q)². The maximum of g over
+// an interval is attained at an endpoint (see the package comment), so only
+// ql and qh are evaluated. Exported so that the sphere-MBR adaptation can
+// evaluate the criterion without materialising rectangles.
+func GMax1D(al, ah, bl, bh, ql, qh float64) float64 {
+	g := func(q float64) float64 {
+		maxd := q - al
+		if d := ah - q; d > maxd {
+			maxd = d
+		}
+		var mind float64
+		switch {
+		case q < bl:
+			mind = bl - q
+		case q > bh:
+			mind = q - bh
+		}
+		return maxd*maxd - mind*mind
+	}
+	m := g(ql)
+	if v := g(qh); v > m {
+		m = v
+	}
+	return m
+}
+
+func maxDistPoint(r geom.Rect, q []float64) float64 {
+	var s float64
+	for i, qi := range q {
+		d := qi - r.Lo[i]
+		if e := r.Hi[i] - qi; e > d {
+			d = e
+		}
+		s += d * d
+	}
+	return sqrt(s)
+}
+
+func minDistPoint(r geom.Rect, q []float64) float64 {
+	var s float64
+	for i, qi := range q {
+		var d float64
+		switch {
+		case qi < r.Lo[i]:
+			d = r.Lo[i] - qi
+		case qi > r.Hi[i]:
+			d = qi - r.Hi[i]
+		}
+		s += d * d
+	}
+	return sqrt(s)
+}

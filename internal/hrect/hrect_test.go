@@ -1,0 +1,158 @@
+package hrect
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/geom"
+	"hyperdom/internal/vec"
+)
+
+func mkRect(lo, hi []float64) geom.Rect { return geom.NewRect(lo, hi) }
+
+func randRect(rng *rand.Rand, d int, scale float64) geom.Rect {
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := range lo {
+		a := rng.NormFloat64() * scale
+		b := a + rng.Float64()*scale/2
+		lo[i], hi[i] = a, b
+	}
+	return geom.NewRect(lo, hi)
+}
+
+func TestMinMaxHandCases(t *testing.T) {
+	ra := mkRect([]float64{0, 0}, []float64{1, 1})
+	rb := mkRect([]float64{10, 0}, []float64{11, 1})
+	rq := mkRect([]float64{-2, 0}, []float64{-1, 1})
+	if !MinMax(ra, rb, rq) {
+		t.Error("clear dominance not detected by MinMax")
+	}
+	// Fat query reaching past the midpoint: MinMax must refuse.
+	rqFat := mkRect([]float64{-2, 0}, []float64{6, 1})
+	if MinMax(ra, rb, rqFat) {
+		t.Error("MinMax accepted with a query box reaching near Rb")
+	}
+}
+
+func TestOptimalEqualsCornerExhaustive(t *testing.T) {
+	// The O(d) criterion must agree exactly with the exponential
+	// corner-based one (both are correct and sound for rectangles).
+	rng := rand.New(rand.NewSource(5))
+	for _, d := range []int{1, 2, 3, 4, 5, 6} {
+		for i := 0; i < 4000; i++ {
+			ra := randRect(rng, d, 5)
+			rb := randRect(rng, d, 5)
+			rq := randRect(rng, d, 5)
+			if Optimal(ra, rb, rq) != Corner(ra, rb, rq) {
+				t.Fatalf("d=%d: Optimal=%v Corner=%v\nra=%v\nrb=%v\nrq=%v",
+					d, Optimal(ra, rb, rq), Corner(ra, rb, rq), ra, rb, rq)
+			}
+		}
+	}
+}
+
+func TestMinMaxImpliesOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 20000; i++ {
+		d := 1 + rng.Intn(5)
+		ra := randRect(rng, d, 5)
+		rb := randRect(rng, d, 5)
+		rq := randRect(rng, d, 5)
+		if MinMax(ra, rb, rq) && !Optimal(ra, rb, rq) {
+			t.Fatalf("MinMax true but Optimal false\nra=%v\nrb=%v\nrq=%v", ra, rb, rq)
+		}
+	}
+}
+
+// TestOptimalAgainstSampling: when Optimal says true, no sampled triple
+// (a, b, q) may violate Dist(a,q) < Dist(b,q); when it says false, some
+// query point q must have MaxDist(Ra,q) ≥ MinDist(Rb,q).
+func TestOptimalAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samplePt := func(r geom.Rect) []float64 {
+		p := make([]float64, r.Dim())
+		for i := range p {
+			p[i] = r.Lo[i] + rng.Float64()*(r.Hi[i]-r.Lo[i])
+		}
+		return p
+	}
+	for i := 0; i < 3000; i++ {
+		d := 1 + rng.Intn(4)
+		ra := randRect(rng, d, 5)
+		rb := randRect(rng, d, 5)
+		rq := randRect(rng, d, 5)
+		got := Optimal(ra, rb, rq)
+		if got {
+			for s := 0; s < 30; s++ {
+				a, b, q := samplePt(ra), samplePt(rb), samplePt(rq)
+				if vec.Dist(a, q) >= vec.Dist(b, q) {
+					t.Fatalf("Optimal=true refuted by sample a=%v b=%v q=%v\nra=%v rb=%v rq=%v",
+						a, b, q, ra, rb, rq)
+				}
+			}
+		} else {
+			// Soundness spot-check: scan corner points of rq plus random
+			// samples for a violation witness.
+			witness := false
+			for _, q := range rq.Corners() {
+				if geom.MaxDistRect(ra, geom.NewRect(q, q)) >= geom.MinDistRect(rb, geom.NewRect(q, q)) {
+					witness = true
+					break
+				}
+			}
+			if !witness {
+				for s := 0; s < 200 && !witness; s++ {
+					q := samplePt(rq)
+					qr := geom.NewRect(q, q)
+					if geom.MaxDistRect(ra, qr) >= geom.MinDistRect(rb, qr) {
+						witness = true
+					}
+				}
+			}
+			if !witness {
+				t.Fatalf("Optimal=false but no witness found\nra=%v rb=%v rq=%v", ra, rb, rq)
+			}
+		}
+	}
+}
+
+func TestGMax1DEndpoints(t *testing.T) {
+	// g's maximum over [ql,qh] must match a dense scan.
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 20000; i++ {
+		al := rng.NormFloat64() * 5
+		ah := al + rng.Float64()*5
+		bl := rng.NormFloat64() * 5
+		bh := bl + rng.Float64()*5
+		ql := rng.NormFloat64() * 5
+		qh := ql + rng.Float64()*5
+		got := GMax1D(al, ah, bl, bh, ql, qh)
+		g := func(q float64) float64 {
+			maxd := q - al
+			if d := ah - q; d > maxd {
+				maxd = d
+			}
+			var mind float64
+			switch {
+			case q < bl:
+				mind = bl - q
+			case q > bh:
+				mind = q - bh
+			}
+			return maxd*maxd - mind*mind
+		}
+		const steps = 500
+		want := g(ql)
+		for s := 1; s <= steps; s++ {
+			q := ql + (qh-ql)*float64(s)/steps
+			if v := g(q); v > want {
+				want = v
+			}
+		}
+		if got < want-1e-9 {
+			t.Fatalf("GMax1D=%v but scan found %v (al=%v ah=%v bl=%v bh=%v ql=%v qh=%v)",
+				got, want, al, ah, bl, bh, ql, qh)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package knn
+
+import (
+	"runtime"
+	"sync"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+)
+
+// SearchBatch answers many kNN queries over one index with a pool of
+// goroutines and returns the results in query order. Indexes are immutable
+// during search and criteria are stateless, so the batch parallelises
+// embarrassingly. workers ≤ 0 selects GOMAXPROCS.
+//
+// Per-query timing comparisons (the paper's figures) should use Search in
+// a plain loop; SearchBatch is for throughput-oriented callers.
+func SearchBatch(idx Index, queries []geom.Sphere, k int, crit dominance.Criterion, algo Algorithm, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([]Result, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = Search(idx, queries[i], k, crit, algo)
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,41 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+)
+
+func TestSearchBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	items := randItems(rng, 3, 2000, 3)
+	idx := index(items, 3)
+	queries := make([]geom.Sphere, 40)
+	for i := range queries {
+		queries[i] = randQuery(rng, 3, 3)
+	}
+	want := make([]Result, len(queries))
+	for i, q := range queries {
+		want[i] = Search(idx, q, 5, dominance.Hyperbola{}, HS)
+	}
+	for _, workers := range []int{0, 1, 3, 64} {
+		got := SearchBatch(idx, queries, 5, dominance.Hyperbola{}, HS, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i := range got {
+			if !equalIDs(sortedIDs(got[i].Items), sortedIDs(want[i].Items)) {
+				t.Fatalf("workers=%d: query %d differs from serial", workers, i)
+			}
+		}
+	}
+}
+
+func TestSearchBatchEmpty(t *testing.T) {
+	idx := index(randItems(rand.New(rand.NewSource(92)), 2, 50, 1), 2)
+	if got := SearchBatch(idx, nil, 3, dominance.Hyperbola{}, DF, 4); len(got) != 0 {
+		t.Errorf("empty batch returned %d results", len(got))
+	}
+}

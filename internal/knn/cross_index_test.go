@@ -1,0 +1,41 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/mtree"
+	"hyperdom/internal/sstree"
+)
+
+// TestSSAndMTreeAgree: the kNN answer is a property of the database, not of
+// the index, so DF/HS over the SS-tree and over the M-tree must return the
+// same items with the same criterion.
+func TestSSAndMTreeAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, d := range []int{2, 5} {
+		items := randItems(rng, d, 3000, 5)
+		ss := sstree.New(d)
+		mt := mtree.New(d)
+		for _, it := range items {
+			ss.Insert(it)
+			mt.Insert(it)
+		}
+		ssIdx := WrapSSTree(ss)
+		mtIdx := WrapMTree(mt)
+		for trial := 0; trial < 15; trial++ {
+			sq := randQuery(rng, d, 5)
+			k := 1 + rng.Intn(15)
+			want := BruteForce(items, sq, k, dominance.Hyperbola{})
+			for _, idx := range []Index{ssIdx, mtIdx} {
+				for _, algo := range []Algorithm{DF, HS} {
+					got := Search(idx, sq, k, dominance.Hyperbola{}, algo)
+					if !equalIDs(sortedIDs(got.Items), sortedIDs(want.Items)) {
+						t.Fatalf("d=%d trial=%d algo=%v: index answer differs from brute force", d, trial, algo)
+					}
+				}
+			}
+		}
+	}
+}

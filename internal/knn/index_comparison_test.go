@@ -1,0 +1,130 @@
+package knn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+	"hyperdom/internal/mtree"
+	"hyperdom/internal/rtree"
+	"hyperdom/internal/sstree"
+)
+
+// TestRTreeAgreesWithOthers: the kNN answer is index-independent, so the
+// R-tree baseline must return exactly what the SS-tree returns.
+func TestRTreeAgreesWithOthers(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for _, d := range []int{2, 6} {
+		items := randItems(rng, d, 2500, 4)
+		ss := sstree.New(d)
+		rt := rtree.New(d)
+		for _, it := range items {
+			ss.Insert(it)
+			rt.Insert(it)
+		}
+		for trial := 0; trial < 10; trial++ {
+			sq := randQuery(rng, d, 4)
+			k := 1 + rng.Intn(10)
+			a := Search(WrapSSTree(ss), sq, k, dominance.Hyperbola{}, HS)
+			b := Search(WrapRTree(rt), sq, k, dominance.Hyperbola{}, HS)
+			if !equalIDs(sortedIDs(a.Items), sortedIDs(b.Items)) {
+				t.Fatalf("d=%d trial=%d: R-tree answer differs from SS-tree", d, trial)
+			}
+		}
+	}
+}
+
+// clusteredItems generates the feature-vector-like workload the
+// sphere-tree literature evaluates on: points drawn from a mixture of
+// Gaussian clusters (images of similar scenes share similar descriptors).
+func clusteredItems(rng *rand.Rand, d, n, clusters int, spread float64) []Item {
+	means := make([][]float64, clusters)
+	for i := range means {
+		m := make([]float64, d)
+		for j := range m {
+			m[j] = rng.Float64() * 100
+		}
+		means[i] = m
+	}
+	items := make([]Item, n)
+	for i := range items {
+		m := means[rng.Intn(clusters)]
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = m[j] + rng.NormFloat64()*spread
+		}
+		items[i] = Item{Sphere: geom.NewSphere(c, rng.Float64()), ID: i}
+	}
+	return items
+}
+
+// TestSphereTreesBeatRTreeInHighD reproduces the motivating claim of the
+// sphere-tree literature the paper's introduction cites ([31, 20, 18]):
+// for similarity search over high-dimensional clustered feature data,
+// sphere-bounded nodes prune better than rectangle-bounded ones (a
+// cluster's bounding sphere is tight while its bounding box's diagonal
+// grows with √d). Measured as index nodes visited for identical kNN
+// queries at d=16; on i.i.d. uniform/Gaussian data the gap narrows or
+// reverses, which is consistent with the literature's focus on real
+// image-feature workloads.
+func TestSphereTreesBeatRTreeInHighD(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	const d = 16
+	items := clusteredItems(rng, d, 8000, 30, 8)
+	ss := sstree.New(d)
+	rt := rtree.New(d)
+	for _, it := range items {
+		ss.Insert(it)
+		rt.Insert(it)
+	}
+	var ssNodes, rtNodes int
+	for trial := 0; trial < 15; trial++ {
+		sq := items[rng.Intn(len(items))].Sphere
+		ssNodes += Search(WrapSSTree(ss), sq, 10, dominance.Hyperbola{}, HS).Stats.NodesVisited
+		rtNodes += Search(WrapRTree(rt), sq, 10, dominance.Hyperbola{}, HS).Stats.NodesVisited
+	}
+	t.Logf("nodes visited at d=%d: SS-tree %d, R-tree %d", d, ssNodes, rtNodes)
+	if ssNodes >= rtNodes {
+		t.Errorf("SS-tree visited %d nodes, R-tree %d; expected the sphere tree to prune better on clustered high-d data",
+			ssNodes, rtNodes)
+	}
+}
+
+// BenchmarkIndexNodeAccesses compares kNN query cost across the three
+// index substrates at low and high dimensionality.
+func BenchmarkIndexNodeAccesses(b *testing.B) {
+	rng := rand.New(rand.NewSource(80))
+	for _, d := range []int{4, 16} {
+		items := randItems(rng, d, 10000, 1)
+		ss := sstree.New(d)
+		mt := mtree.New(d)
+		rt := rtree.New(d)
+		for _, it := range items {
+			ss.Insert(it)
+			mt.Insert(it)
+			rt.Insert(it)
+		}
+		queries := make([]int, 32)
+		for i := range queries {
+			queries[i] = rng.Intn(len(items))
+		}
+		for _, idx := range []struct {
+			name string
+			i    Index
+		}{
+			{"SS-tree", WrapSSTree(ss)},
+			{"M-tree", WrapMTree(mt)},
+			{"R-tree", WrapRTree(rt)},
+		} {
+			idx := idx
+			b.Run(fmt.Sprintf("d=%d/%s", d, idx.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					q := items[queries[i%len(queries)]].Sphere
+					Search(idx.i, q, 10, dominance.Hyperbola{}, HS)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package knn implements the k-nearest-neighbour query over hypersphere
+// databases defined in Section 6 of the paper (Definition 2), the
+// application that exercises the dominance operator.
+//
+// Given a query hypersphere Sq and a database D of hyperspheres, let Sk be
+// the member of D with the k-th smallest MaxDist to Sq. The answer of the
+// kNN query is every member of D that is NOT dominated by Sk with respect
+// to Sq — the set of objects that could still be among the k nearest under
+// the uncertainty the spheres model.
+//
+// Three evaluators are provided:
+//
+//   - BruteForce: scans D; with the Exact (or Hyperbola) criterion this is
+//     the ground truth the paper measures precision against.
+//   - DF: the depth-first tree traversal of Roussopoulos et al. (ref [26]).
+//   - HS: the best-first traversal of Hjaltason and Samet (ref [15]).
+//
+// DF and HS run over an index (package sstree or mtree) and maintain the
+// best-known list L exactly as Section 6 prescribes: Case 1 inserts and
+// evicts newly-dominated members, Case 2 consults the pluggable dominance
+// criterion, Case 3 prunes by Lemma 9. With a correct criterion the result
+// is a superset of the truth (recall 100%); with Hyperbola it is exact.
+package knn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+)
+
+// Item is the indexed unit, shared with the index packages.
+type Item = geom.Item
+
+// Stats counts the work a query performed.
+type Stats struct {
+	NodesVisited int // internal + leaf index nodes touched
+	Items        int // data items reached through the index (or scanned)
+	DomChecks    int // dominance-criterion invocations
+	Pruned       int // items discarded by Case 2 or Case 3
+	// Resurrected counts items that an interim Sk had dominated (Case 2
+	// prune or Case 1 eviction) but that the FINAL Sk does not dominate,
+	// so the Definition 2 filter readmitted them. Non-zero values are the
+	// reason the deferred list exists; see the bestList comment.
+	Resurrected int
+}
+
+// Result is the answer of a kNN query.
+type Result struct {
+	// Items is the answer set, sorted by ascending MaxDist to the query.
+	Items []Item
+	// K is the k the query ran with.
+	K int
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// IDs returns the answer's item IDs in result order.
+func (r Result) IDs() []int {
+	out := make([]int, len(r.Items))
+	for i, it := range r.Items {
+		out[i] = it.ID
+	}
+	return out
+}
+
+// BruteForce evaluates the kNN query by Definition 2 with a full scan:
+// find Sk, then keep every item the criterion does not prove dominated.
+// With dominance.Exact{} or dominance.Hyperbola{} the result is the ground
+// truth. If D has fewer than k items the whole database is the answer.
+func BruteForce(items []Item, sq geom.Sphere, k int, crit dominance.Criterion) Result {
+	if k <= 0 {
+		panic(fmt.Sprintf("knn: k = %d", k))
+	}
+	res := Result{K: k}
+	res.Stats.Items = len(items)
+	if len(items) == 0 {
+		return res
+	}
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	maxd := make([]float64, len(items))
+	for i, it := range items {
+		maxd[i] = geom.MaxDist(it.Sphere, sq)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if maxd[order[a]] != maxd[order[b]] {
+			return maxd[order[a]] < maxd[order[b]]
+		}
+		return items[order[a]].ID < items[order[b]].ID
+	})
+	if len(items) <= k {
+		for _, idx := range order {
+			res.Items = append(res.Items, items[idx])
+		}
+		return res
+	}
+	sk := items[order[k-1]]
+	for _, idx := range order {
+		res.Stats.DomChecks++
+		if crit.Dominates(sk.Sphere, items[idx].Sphere, sq) {
+			res.Stats.Pruned++
+			continue
+		}
+		res.Items = append(res.Items, items[idx])
+	}
+	return res
+}
+
+// bestList is the best-known list L of Section 6: candidates ordered by
+// ascending MaxDist to the query.
+//
+// One refinement over the paper's literal Cases 1–3: an item dominated by
+// the k-th candidate *at encounter time* (Case 2) or evicted after a Case 1
+// insertion is not discarded outright but parked in a deferred list,
+// because Definition 2 defines the answer against the FINAL Sk and
+// dominance by an interim Sk does not imply dominance by the final one
+// (distk shrinks as the search progresses, and dominance is not monotone in
+// MaxDist). Case 3 prunes need no deferral: distk never increases, so
+// MinDist(S,Sq) > distk at any time implies MaxDist(Sk_final,Sq) ≤ distk <
+// MinDist(S,Sq), which is DCMinMax — dominance by the final Sk is already
+// proven. The deferred items are re-filtered against the final Sk in
+// finish(), making the search return exactly the Definition 2 answer when
+// the criterion is correct and sound.
+type bestList struct {
+	sq       geom.Sphere
+	k        int
+	crit     dominance.Criterion
+	entries  []entry
+	deferred []entry
+	stats    *Stats
+}
+
+type entry struct {
+	item    Item
+	maxDist float64
+	minDist float64
+}
+
+// distK returns the k-th smallest MaxDist in L, or +Inf while L holds fewer
+// than k entries.
+func (l *bestList) distK() float64 {
+	if len(l.entries) < l.k {
+		return math.Inf(1)
+	}
+	return l.entries[l.k-1].maxDist
+}
+
+// sk returns the entry whose MaxDist is the k-th smallest.
+func (l *bestList) sk() Item { return l.entries[l.k-1].item }
+
+// add inserts e keeping the order by MaxDist (ties by ID for determinism).
+func (l *bestList) add(e entry) {
+	i := sort.Search(len(l.entries), func(i int) bool {
+		if l.entries[i].maxDist != e.maxDist {
+			return l.entries[i].maxDist > e.maxDist
+		}
+		return l.entries[i].item.ID > e.item.ID
+	})
+	l.entries = append(l.entries, entry{})
+	copy(l.entries[i+1:], l.entries[i:])
+	l.entries[i] = e
+}
+
+// offer processes one data item through the Case 1–3 logic of Section 6.
+func (l *bestList) offer(it Item) {
+	l.stats.Items++
+	e := entry{
+		item:    it,
+		maxDist: geom.MaxDist(it.Sphere, l.sq),
+		minDist: geom.MinDist(it.Sphere, l.sq),
+	}
+	if len(l.entries) < l.k {
+		l.add(e)
+		return
+	}
+	dk := l.distK()
+	switch {
+	case e.maxDist <= dk:
+		// Case 1: insert, then evict members the new Sk dominates.
+		l.add(e)
+		l.evictDominated()
+	case e.minDist <= dk:
+		// Case 2: the k-th candidate may or may not dominate it (Lemma 10).
+		l.stats.DomChecks++
+		if l.crit.Dominates(l.sk().Sphere, it.Sphere, l.sq) {
+			l.stats.Pruned++
+			l.deferred = append(l.deferred, e)
+			return
+		}
+		l.add(e)
+	default:
+		// Case 3: Lemma 9 — MinMax-provably dominated.
+		l.stats.Pruned++
+	}
+}
+
+// evictDominated removes every member dominated by the current Sk wrt Sq.
+// Sk itself is safe: a sphere overlaps itself, so no criterion can report
+// it dominated.
+func (l *bestList) evictDominated() {
+	sk := l.sk()
+	kept := l.entries[:0]
+	for _, e := range l.entries {
+		l.stats.DomChecks++
+		if l.crit.Dominates(sk.Sphere, e.item.Sphere, l.sq) {
+			l.stats.Pruned++
+			l.deferred = append(l.deferred, e)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	l.entries = kept
+}
+
+// finish applies the final Definition 2 filter — against the final Sk — to
+// the live list and the deferred candidates, and returns the answer in
+// MaxDist order.
+func (l *bestList) finish() []Item {
+	if len(l.entries) == 0 {
+		return nil
+	}
+	if len(l.entries) < l.k {
+		// Fewer than k objects in the database: everything qualifies.
+		// (Deferral and eviction require |L| ≥ k, so deferred is empty.)
+		out := make([]Item, len(l.entries))
+		for i, e := range l.entries {
+			out[i] = e.item
+		}
+		return out
+	}
+	sk := l.sk()
+	type flagged struct {
+		entry
+		deferred bool
+	}
+	all := make([]flagged, 0, len(l.entries)+len(l.deferred))
+	for _, e := range l.entries {
+		all = append(all, flagged{e, false})
+	}
+	for _, e := range l.deferred {
+		all = append(all, flagged{e, true})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].maxDist != all[b].maxDist {
+			return all[a].maxDist < all[b].maxDist
+		}
+		return all[a].item.ID < all[b].item.ID
+	})
+	out := make([]Item, 0, l.k)
+	for _, e := range all {
+		l.stats.DomChecks++
+		if l.crit.Dominates(sk.Sphere, e.item.Sphere, l.sq) {
+			l.stats.Pruned++
+			continue
+		}
+		if e.deferred {
+			l.stats.Resurrected++
+		}
+		out = append(out, e.item)
+	}
+	return out
+}

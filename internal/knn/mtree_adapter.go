@@ -1,0 +1,32 @@
+package knn
+
+import (
+	"hyperdom/internal/geom"
+	"hyperdom/internal/mtree"
+)
+
+// mAdapter adapts an M-tree to the Index interface.
+type mAdapter struct{ t *mtree.Tree }
+
+// WrapMTree adapts an M-tree for Search.
+func WrapMTree(t *mtree.Tree) Index { return mAdapter{t} }
+
+func (a mAdapter) RootNode() (IndexNode, bool) {
+	root, ok := a.t.Root()
+	if !ok {
+		return nil, false
+	}
+	return mNode{root}, true
+}
+
+type mNode struct{ n mtree.Node }
+
+func (n mNode) IsLeaf() bool                    { return n.n.IsLeaf() }
+func (n mNode) MinDistTo(q geom.Sphere) float64 { return geom.MinDist(n.n.Sphere(), q) }
+func (n mNode) NodeItems() []Item               { return n.n.Items() }
+func (n mNode) ChildNodes(dst []IndexNode) []IndexNode {
+	for _, c := range n.n.Children() {
+		dst = append(dst, mNode{c})
+	}
+	return dst
+}

@@ -1,0 +1,35 @@
+package knn
+
+import (
+	"hyperdom/internal/geom"
+	"hyperdom/internal/rtree"
+)
+
+// rAdapter adapts an R-tree to the Index interface.
+type rAdapter struct{ t *rtree.Tree }
+
+// WrapRTree adapts an R-tree for Search — the rectangle-bounded baseline
+// for the sphere-vs-rectangle index comparison.
+func WrapRTree(t *rtree.Tree) Index { return rAdapter{t} }
+
+func (a rAdapter) RootNode() (IndexNode, bool) {
+	root, ok := a.t.Root()
+	if !ok {
+		return nil, false
+	}
+	return rNode{root}, true
+}
+
+type rNode struct{ n rtree.Node }
+
+func (n rNode) IsLeaf() bool { return n.n.IsLeaf() }
+func (n rNode) MinDistTo(q geom.Sphere) float64 {
+	return geom.MinDistRectSphere(n.n.Rect(), q)
+}
+func (n rNode) NodeItems() []Item { return n.n.Items() }
+func (n rNode) ChildNodes(dst []IndexNode) []IndexNode {
+	for _, c := range n.n.Children() {
+		dst = append(dst, rNode{c})
+	}
+	return dst
+}

@@ -1,0 +1,194 @@
+package knn
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+	"hyperdom/internal/sstree"
+)
+
+// Algorithm selects the index traversal strategy.
+type Algorithm int
+
+const (
+	// DF is the depth-first branch-and-bound traversal of Roussopoulos,
+	// Kelley and Vincent (SIGMOD 1995) adapted to hypersphere nodes.
+	DF Algorithm = iota
+	// HS is the best-first (priority queue on MinDist) traversal of
+	// Hjaltason and Samet (TODS 1999).
+	HS
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case DF:
+		return "DF"
+	case HS:
+		return "HS"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Index abstracts the tree the searches traverse, implemented by the
+// SS-tree and M-tree adapters below and in package mtree.
+type Index interface {
+	// RootNode returns the root cursor, or ok=false for an empty index.
+	RootNode() (IndexNode, bool)
+}
+
+// IndexNode is a read-only cursor over one index node.
+type IndexNode interface {
+	IsLeaf() bool
+	// MinDistTo returns a lower bound on the distance from any item in the
+	// subtree to the query sphere: 0 when they can intersect, and never
+	// more than the true minimum distance. Sphere-bounded nodes (SS-tree,
+	// M-tree) return MinDist of their bounding sphere; rectangle-bounded
+	// nodes (R-tree) return MinDist of their MBR.
+	MinDistTo(q geom.Sphere) float64
+	// ChildNodes appends the node's children to dst and returns it. Only
+	// valid on internal nodes.
+	ChildNodes(dst []IndexNode) []IndexNode
+	// NodeItems returns the node's items. Only valid on leaves.
+	NodeItems() []Item
+}
+
+// Search answers the kNN query of Definition 2 over an index using the
+// given traversal strategy and dominance criterion.
+func Search(idx Index, sq geom.Sphere, k int, crit dominance.Criterion, algo Algorithm) Result {
+	if k <= 0 {
+		panic(fmt.Sprintf("knn: k = %d", k))
+	}
+	res := Result{K: k}
+	root, ok := idx.RootNode()
+	if !ok {
+		return res
+	}
+	l := &bestList{sq: sq, k: k, crit: crit, stats: &res.Stats}
+	switch algo {
+	case DF:
+		searchDF(root, sq, l)
+	case HS:
+		searchHS(root, sq, l)
+	default:
+		panic(fmt.Sprintf("knn: unknown algorithm %d", int(algo)))
+	}
+	res.Items = l.finish()
+	return res
+}
+
+// searchDF visits children in ascending MinDist order, pruning subtrees
+// whose MinDist to the query exceeds distk (every item below would fall to
+// Case 3).
+func searchDF(n IndexNode, sq geom.Sphere, l *bestList) {
+	l.stats.NodesVisited++
+	if n.IsLeaf() {
+		for _, it := range n.NodeItems() {
+			l.offer(it)
+		}
+		return
+	}
+	children := n.ChildNodes(nil)
+	dists := make([]float64, len(children))
+	order := make([]int, len(children))
+	for i, c := range children {
+		dists[i] = c.MinDistTo(sq)
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
+	for _, i := range order {
+		if dists[i] > l.distK() {
+			// Every deeper item has MinDist ≥ this bound: Case 3 territory.
+			break
+		}
+		searchDF(children[i], sq, l)
+	}
+}
+
+// nodeHeap is a min-heap of index nodes keyed by MinDist to the query.
+type nodeHeap struct {
+	nodes []IndexNode
+	dists []float64
+}
+
+func (h *nodeHeap) Len() int           { return len(h.nodes) }
+func (h *nodeHeap) Less(i, j int) bool { return h.dists[i] < h.dists[j] }
+func (h *nodeHeap) Swap(i, j int) {
+	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
+	h.dists[i], h.dists[j] = h.dists[j], h.dists[i]
+}
+func (h *nodeHeap) Push(x any) {
+	e := x.(heapEntry)
+	h.nodes = append(h.nodes, e.node)
+	h.dists = append(h.dists, e.dist)
+}
+func (h *nodeHeap) Pop() any {
+	n := len(h.nodes) - 1
+	e := heapEntry{h.nodes[n], h.dists[n]}
+	h.nodes = h.nodes[:n]
+	h.dists = h.dists[:n]
+	return e
+}
+
+type heapEntry struct {
+	node IndexNode
+	dist float64
+}
+
+// searchHS pops nodes in globally ascending MinDist order; once the nearest
+// unexplored node is beyond distk the traversal is complete, because distk
+// never increases.
+func searchHS(root IndexNode, sq geom.Sphere, l *bestList) {
+	h := &nodeHeap{}
+	heap.Push(h, heapEntry{root, root.MinDistTo(sq)})
+	var scratch []IndexNode
+	for h.Len() > 0 {
+		e := heap.Pop(h).(heapEntry)
+		if e.dist > l.distK() {
+			return
+		}
+		l.stats.NodesVisited++
+		if e.node.IsLeaf() {
+			for _, it := range e.node.NodeItems() {
+				l.offer(it)
+			}
+			continue
+		}
+		scratch = e.node.ChildNodes(scratch[:0])
+		for _, c := range scratch {
+			d := c.MinDistTo(sq)
+			if d <= l.distK() {
+				heap.Push(h, heapEntry{c, d})
+			}
+		}
+	}
+}
+
+// ssAdapter adapts an SS-tree to the Index interface.
+type ssAdapter struct{ t *sstree.Tree }
+
+// WrapSSTree adapts an SS-tree for Search.
+func WrapSSTree(t *sstree.Tree) Index { return ssAdapter{t} }
+
+func (a ssAdapter) RootNode() (IndexNode, bool) {
+	root, ok := a.t.Root()
+	if !ok {
+		return nil, false
+	}
+	return ssNode{root}, true
+}
+
+type ssNode struct{ n sstree.Node }
+
+func (n ssNode) IsLeaf() bool                    { return n.n.IsLeaf() }
+func (n ssNode) MinDistTo(q geom.Sphere) float64 { return geom.MinDist(n.n.Sphere(), q) }
+func (n ssNode) NodeItems() []Item               { return n.n.Items() }
+func (n ssNode) ChildNodes(dst []IndexNode) []IndexNode {
+	for _, c := range n.n.Children() {
+		dst = append(dst, ssNode{c})
+	}
+	return dst
+}

@@ -1,0 +1,176 @@
+// Package lpball explores the second future-work direction of the paper's
+// conclusion: the dominance problem "when some distance metrics other than
+// Euclidean distance are adopted".
+//
+// Objects are balls of the Lp metric (p ≥ 1, including p = ∞): the set of
+// points within Lp-distance Radius of Center. Dominance keeps Definition
+// 1's shape with Dist replaced by the Lp distance.
+//
+// The Hyperbola criterion does not transfer — its geometry (a hyperboloid
+// of revolution with a closed-form point-to-curve distance) is specific to
+// L2 — but two of the paper's tools do:
+//
+//   - The MinMax criterion is correct for EVERY metric, because MaxDist and
+//     MinDist bounds follow from the triangle inequality alone (Lemma 2's
+//     proof never uses Euclidean structure). It is exposed as MinMax.
+//   - The sampling falsifier transfers verbatim and certifies
+//     non-dominance with a witness point. It is exposed as FindWitness.
+//
+// Together they bracket the truth from both sides: MinMax true ⇒ dominated;
+// witness found ⇒ not dominated; between them lies the gap a future exact
+// Lp criterion would close.
+package lpball
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Ball is a ball of the Lp metric.
+type Ball struct {
+	Center []float64
+	Radius float64
+}
+
+// New returns a ball, panicking on invalid parameters.
+func New(center []float64, radius float64) Ball {
+	if len(center) == 0 {
+		panic("lpball: New with empty center")
+	}
+	if radius < 0 || math.IsNaN(radius) {
+		panic(fmt.Sprintf("lpball: New with invalid radius %v", radius))
+	}
+	return Ball{Center: center, Radius: radius}
+}
+
+// Dist returns the Lp distance between points a and b. p must be ≥ 1;
+// p = math.Inf(1) selects the Chebyshev (L∞) metric.
+func Dist(p float64, a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("lpball: Dist of %d-dim and %d-dim points", len(a), len(b)))
+	}
+	if p < 1 {
+		panic(fmt.Sprintf("lpball: p = %v is not a metric exponent", p))
+	}
+	if math.IsInf(p, 1) {
+		var m float64
+		for i := range a {
+			if d := math.Abs(a[i] - b[i]); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	if p == 1 {
+		var s float64
+		for i := range a {
+			s += math.Abs(a[i] - b[i])
+		}
+		return s
+	}
+	if p == 2 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	var s float64
+	for i := range a {
+		s += math.Pow(math.Abs(a[i]-b[i]), p)
+	}
+	return math.Pow(s, 1/p)
+}
+
+// MinDist returns the minimum Lp distance between a point of a and a point
+// of b (0 when the balls overlap), by the triangle inequality.
+func MinDist(p float64, a, b Ball) float64 {
+	d := Dist(p, a.Center, b.Center) - a.Radius - b.Radius
+	if d > 0 {
+		return d
+	}
+	return 0
+}
+
+// MaxDist returns the maximum Lp distance between a point of a and a point
+// of b.
+func MaxDist(p float64, a, b Ball) float64 {
+	return Dist(p, a.Center, b.Center) + a.Radius + b.Radius
+}
+
+// MinMax is the MinMax decision criterion under the Lp metric: true iff
+// MaxDist(Sa,Sq) < MinDist(Sb,Sq). Correct for every p ≥ 1 (the proof of
+// Lemma 2 only needs the triangle inequality); not sound, exactly as in
+// the Euclidean case.
+func MinMax(p float64, sa, sb, sq Ball) bool {
+	return MaxDist(p, sa, sq) < MinDist(p, sb, sq)
+}
+
+// Witness certifies non-dominance under the Lp metric: a point q in Sq at
+// which the margin MinDist(Sb,q) − MaxDist(Sa,q) is non-positive.
+type Witness struct {
+	Q      []float64
+	Margin float64
+}
+
+// FindWitness searches for a certificate that sa does NOT dominate sb wrt
+// sq under the Lp metric, by sampling q within Sq and refining with local
+// coordinate descent. A non-nil result is a proof; nil proves nothing.
+func FindWitness(p float64, sa, sb, sq Ball, samples int, rng *rand.Rand) *Witness {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if samples <= 0 {
+		samples = 512
+	}
+	margin := func(q []float64) float64 {
+		// Dominance needs MaxDist(Sa,q) < MinDist(Sb,q) for all q ∈ Sq.
+		return (Dist(p, sb.Center, q) - sb.Radius) - (Dist(p, sa.Center, q) + sa.Radius)
+	}
+	d := len(sq.Center)
+	best := append([]float64(nil), sq.Center...)
+	bestM := margin(best)
+	cand := make([]float64, d)
+	// Sampling: uniform in the Lp ball's bounding box, rejected against
+	// the ball (cheap for the p values used in practice).
+	for i := 0; i < samples && bestM > 0; i++ {
+		for j := range cand {
+			cand[j] = sq.Center[j] + (2*rng.Float64()-1)*sq.Radius
+		}
+		if Dist(p, cand, sq.Center) > sq.Radius {
+			continue
+		}
+		if m := margin(cand); m < bestM {
+			copy(best, cand)
+			bestM = m
+		}
+	}
+	// Coordinate descent with shrinking steps, projected into the ball.
+	step := sq.Radius / 2
+	for iter := 0; iter < 60 && bestM > 0 && step > 1e-12*(1+sq.Radius); iter++ {
+		improved := false
+		for j := 0; j < d; j++ {
+			for _, dir := range [2]float64{+1, -1} {
+				copy(cand, best)
+				cand[j] += dir * step
+				if Dist(p, cand, sq.Center) > sq.Radius {
+					continue
+				}
+				if m := margin(cand); m < bestM {
+					copy(best, cand)
+					bestM = m
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	if bestM <= 0 {
+		return &Witness{Q: best, Margin: bestM}
+	}
+	return nil
+}

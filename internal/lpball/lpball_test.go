@@ -1,0 +1,140 @@
+package lpball
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+)
+
+func TestDistHandCases(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{1, 7},
+		{2, 5},
+		{math.Inf(1), 4},
+		{3, math.Pow(27+64, 1.0/3)},
+	}
+	for _, c := range cases {
+		if got := Dist(c.p, a, b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("L%v dist = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestDistPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"p<1":      func() { Dist(0.5, []float64{0}, []float64{1}) },
+		"dims":     func() { Dist(2, []float64{0}, []float64{1, 2}) },
+		"bad ball": func() { New(nil, 1) },
+		"bad r":    func() { New([]float64{0}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTriangleInequalityAllP(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := []float64{1, 1.5, 2, 3, math.Inf(1)}
+	for i := 0; i < 5000; i++ {
+		d := 1 + rng.Intn(6)
+		a, b, c := randPt(rng, d), randPt(rng, d), randPt(rng, d)
+		for _, p := range ps {
+			if Dist(p, a, c) > Dist(p, a, b)+Dist(p, b, c)+1e-9 {
+				t.Fatalf("triangle inequality fails for p=%v", p)
+			}
+		}
+	}
+}
+
+// TestL2MatchesEuclidean: for p = 2 the Lp MinMax criterion must agree
+// with the Euclidean MinMax criterion on identical instances.
+func TestL2MatchesEuclidean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		d := 1 + rng.Intn(6)
+		sa, sb, sq := randBall(rng, d), randBall(rng, d), randBall(rng, d)
+		want := dominance.MinMax{}.Dominates(
+			geom.Sphere{Center: sa.Center, Radius: sa.Radius},
+			geom.Sphere{Center: sb.Center, Radius: sb.Radius},
+			geom.Sphere{Center: sq.Center, Radius: sq.Radius},
+		)
+		if got := MinMax(2, sa, sb, sq); got != want {
+			t.Fatalf("L2 MinMax disagrees with Euclidean MinMax (i=%d)", i)
+		}
+	}
+}
+
+// TestMinMaxCorrectForAllP: a MinMax-true verdict must never be refuted by
+// a witness, under any metric exponent.
+func TestMinMaxCorrectForAllP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := []float64{1, 2, 3, math.Inf(1)}
+	for i := 0; i < 3000; i++ {
+		d := 1 + rng.Intn(5)
+		sa, sb, sq := randBall(rng, d), randBall(rng, d), randBall(rng, d)
+		for _, p := range ps {
+			if MinMax(p, sa, sb, sq) {
+				if w := FindWitness(p, sa, sb, sq, 256, rng); w != nil {
+					t.Fatalf("p=%v: witness (margin %v) refutes MinMax-true (i=%d)", p, w.Margin, i)
+				}
+			}
+		}
+	}
+}
+
+// TestWitnessFoundOnOverlap: overlapping objects are never dominant; the
+// falsifier must find that under every metric.
+func TestWitnessFoundOnOverlap(t *testing.T) {
+	for _, p := range []float64{1, 2, math.Inf(1)} {
+		sa := New([]float64{0, 0}, 2)
+		sb := New([]float64{1, 0}, 2)
+		sq := New([]float64{10, 10}, 1)
+		if w := FindWitness(p, sa, sb, sq, 512, nil); w == nil {
+			t.Errorf("p=%v: no witness for overlapping objects", p)
+		}
+	}
+}
+
+// TestMetricsDisagree: an instance decided differently under L1 and L∞,
+// demonstrating that the operator is genuinely metric-dependent. The
+// MinMax condition is D(cb,cq) − D(ca,cq) > ra + rb + 2rq = 1.6. With
+// ca−cq diagonal and cb−cq axis-aligned, the L1 metric doubles the
+// diagonal leg (margin 3 − 2 = 1 < 1.6) while L∞ does not (margin
+// 3 − 1 = 2 > 1.6).
+func TestMetricsDisagree(t *testing.T) {
+	sa := New([]float64{1, 1}, 0.4)
+	sb := New([]float64{3, 0}, 0.4)
+	sq := New([]float64{0, 0}, 0.4)
+	if MinMax(1, sa, sb, sq) {
+		t.Fatal("L1 should not certify dominance (margin 1 < 1.6)")
+	}
+	if !MinMax(math.Inf(1), sa, sb, sq) {
+		t.Fatal("L∞ should certify dominance (margin 2 > 1.6)")
+	}
+}
+
+func randPt(rng *rand.Rand, d int) []float64 {
+	p := make([]float64, d)
+	for i := range p {
+		p[i] = rng.NormFloat64() * 10
+	}
+	return p
+}
+
+func randBall(rng *rand.Rand, d int) Ball {
+	return New(randPt(rng, d), rng.Float64()*4)
+}

@@ -1,0 +1,48 @@
+package mtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/vec"
+)
+
+// TestCursorTraversal walks the tree through the read-only cursor API and
+// verifies counts and the covering invariant along the way.
+func TestCursorTraversal(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	tr, _ := buildTree(t, rng, 3, 700, WithMaxFill(8))
+	if tr.Dim() != 3 {
+		t.Errorf("Dim=%d", tr.Dim())
+	}
+	root, ok := tr.Root()
+	if !ok {
+		t.Fatal("no root")
+	}
+	total := 0
+	var walk func(n Node)
+	walk = func(n Node) {
+		cover := n.Sphere()
+		if n.IsLeaf() {
+			total += len(n.Items())
+			for _, it := range n.Items() {
+				if vec.Dist(cover.Center, it.Sphere.Center)+it.Sphere.Radius > cover.Radius*(1+1e-9) {
+					t.Fatal("item escapes covering sphere via cursor view")
+				}
+			}
+			return
+		}
+		sum := 0
+		for _, c := range n.Children() {
+			sum += c.Count()
+			walk(c)
+		}
+		if sum != n.Count() {
+			t.Fatalf("node Count=%d but children sum to %d", n.Count(), sum)
+		}
+	}
+	walk(root)
+	if total != tr.Len() {
+		t.Errorf("cursor walk saw %d items, Len=%d", total, tr.Len())
+	}
+}

@@ -1,0 +1,72 @@
+package mtree
+
+import (
+	"hyperdom/internal/vec"
+)
+
+// Delete removes one item with the given ID and an equal sphere from the
+// tree and reports whether such an item was found. Underflowing leaves are
+// dissolved and their items reinserted, matching the SS-tree's strategy.
+func (t *Tree) Delete(it Item) bool {
+	if t.root == nil {
+		return false
+	}
+	var orphans []Item
+	if !t.delete(t.root, it, &orphans) {
+		return false
+	}
+	t.size--
+	for t.root != nil && !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if t.root != nil && t.root.leaf && len(t.root.items) == 0 {
+		t.root = nil
+	}
+	for _, o := range orphans {
+		t.size--
+		t.Insert(o)
+	}
+	return true
+}
+
+func (t *Tree) delete(n *node, it Item, orphans *[]Item) bool {
+	// Covering-radius pruning with float slack accumulated over refits.
+	if vec.Dist(n.pivot, it.Sphere.Center) > n.radius+1e-9*(1+n.radius) {
+		return false
+	}
+	if n.leaf {
+		for i, cand := range n.items {
+			if cand.ID == it.ID && cand.Sphere.Radius == it.Sphere.Radius &&
+				vec.Equal(cand.Sphere.Center, it.Sphere.Center) {
+				n.items = append(n.items[:i], n.items[i+1:]...)
+				n.refit()
+				return true
+			}
+		}
+		return false
+	}
+	for i, c := range n.children {
+		if !t.delete(c, it, orphans) {
+			continue
+		}
+		underflow := (c.leaf && len(c.items) < t.minFill) ||
+			(!c.leaf && len(c.children) < t.minFill)
+		if underflow && len(n.children) > 1 {
+			collectItems(c, orphans)
+			n.children = append(n.children[:i], n.children[i+1:]...)
+		}
+		n.refit()
+		return true
+	}
+	return false
+}
+
+func collectItems(n *node, out *[]Item) {
+	if n.leaf {
+		*out = append(*out, n.items...)
+		return
+	}
+	for _, c := range n.children {
+		collectItems(c, out)
+	}
+}

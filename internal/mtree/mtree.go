@@ -1,0 +1,288 @@
+// Package mtree implements an M-tree (Ciaccia, Patella & Zezula, VLDB
+// 1997): a height-balanced metric access method whose routing entries are
+// pivot objects with covering radii. The hypersphere-dominance paper lists
+// the M-tree among the sphere-based indexes its operator serves (Section
+// 5.1); this package provides it as an alternative substrate for the kNN
+// search of package knn, interchangeable with the SS-tree.
+//
+// Differences from the SS-tree: routing centers are actual object centers
+// (pivots) rather than centroids, the insertion heuristic minimises
+// covering-radius enlargement rather than centroid distance, and splits use
+// the generalised-hyperplane partition around a far-apart pivot pair.
+package mtree
+
+import (
+	"fmt"
+	"math"
+
+	"hyperdom/internal/geom"
+	"hyperdom/internal/vec"
+)
+
+// Item is the indexed unit, shared with the other index packages.
+type Item = geom.Item
+
+// DefaultMaxFill is the default node capacity.
+const DefaultMaxFill = 24
+
+// Tree is an M-tree over d-dimensional hyperspheres. Construct with New.
+// Not safe for concurrent mutation.
+type Tree struct {
+	dim     int
+	minFill int
+	maxFill int
+	root    *node
+	size    int
+}
+
+type node struct {
+	leaf     bool
+	pivot    []float64 // routing object center
+	radius   float64   // covering radius: every sphere below fits inside
+	count    int
+	children []*node
+	items    []Item
+}
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// WithMaxFill sets the node capacity (minimum 4; min fill = capacity/3).
+func WithMaxFill(m int) Option {
+	return func(t *Tree) {
+		if m < 4 {
+			m = 4
+		}
+		t.maxFill = m
+		t.minFill = m / 3
+		if t.minFill < 2 {
+			t.minFill = 2
+		}
+	}
+}
+
+// New returns an empty M-tree for dim-dimensional spheres.
+func New(dim int, opts ...Option) *Tree {
+	if dim <= 0 {
+		panic(fmt.Sprintf("mtree: New with dimensionality %d", dim))
+	}
+	t := &Tree{dim: dim}
+	WithMaxFill(DefaultMaxFill)(t)
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of indexed spheres.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds the item to the tree.
+func (t *Tree) Insert(it Item) {
+	if it.Sphere.Dim() != t.dim {
+		panic(fmt.Sprintf("mtree: Insert of %d-dimensional sphere into %d-dimensional tree",
+			it.Sphere.Dim(), t.dim))
+	}
+	if err := it.Sphere.Validate(); err != nil {
+		panic("mtree: " + err.Error())
+	}
+	if t.root == nil {
+		t.root = &node{leaf: true, pivot: vec.Clone(it.Sphere.Center)}
+	}
+	left, right := t.insert(t.root, it)
+	if right != nil {
+		newRoot := &node{leaf: false, children: []*node{left, right}}
+		newRoot.adoptPivot()
+		t.root = newRoot
+	}
+	t.size++
+}
+
+func (t *Tree) insert(n *node, it Item) (*node, *node) {
+	if n.leaf {
+		n.items = append(n.items, it)
+		if len(n.items) > t.maxFill {
+			return t.splitLeaf(n)
+		}
+		n.cover(it.Sphere)
+		n.count = len(n.items)
+		return n, nil
+	}
+	best := chooseSubtree(n.children, it.Sphere)
+	left, right := t.insert(n.children[best], it)
+	n.children[best] = left
+	if right != nil {
+		n.children = append(n.children, right)
+		if len(n.children) > t.maxFill {
+			return t.splitInternal(n)
+		}
+	}
+	n.count = 0
+	for _, c := range n.children {
+		n.count += c.count
+		n.cover(geom.Sphere{Center: c.pivot, Radius: c.radius})
+	}
+	return n, nil
+}
+
+// chooseSubtree prefers a child whose covering sphere already contains the
+// new sphere (closest pivot among those); otherwise the child needing the
+// least radius enlargement.
+func chooseSubtree(children []*node, s geom.Sphere) int {
+	best := -1
+	bestDist := math.Inf(1)
+	for i, c := range children {
+		d := vec.Dist(c.pivot, s.Center)
+		if d+s.Radius <= c.radius && d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	bestEnl := math.Inf(1)
+	for i, c := range children {
+		enl := vec.Dist(c.pivot, s.Center) + s.Radius - c.radius
+		if enl < bestEnl {
+			best, bestEnl = i, enl
+		}
+	}
+	return best
+}
+
+// cover grows the node's covering radius to include sphere s.
+func (n *node) cover(s geom.Sphere) {
+	if r := vec.Dist(n.pivot, s.Center) + s.Radius; r > n.radius {
+		n.radius = r
+	}
+}
+
+// refit recomputes the covering radius (keeping the current pivot) and
+// count from scratch.
+func (n *node) refit() {
+	n.radius = 0
+	if n.leaf {
+		n.count = len(n.items)
+		for _, it := range n.items {
+			n.cover(it.Sphere)
+		}
+		return
+	}
+	n.count = 0
+	for _, c := range n.children {
+		n.count += c.count
+		n.cover(geom.Sphere{Center: c.pivot, Radius: c.radius})
+	}
+}
+
+// adoptPivot picks the first child's pivot as this node's routing object
+// (the "parent promotion" of the original M-tree) and refits.
+func (n *node) adoptPivot() {
+	n.pivot = vec.Clone(n.children[0].pivot)
+	n.refit()
+}
+
+// farPair returns indices of two far-apart points: the point farthest from
+// pts[0], and the point farthest from that one — the classic linear-cost
+// pivot-promotion heuristic.
+func farPair(pts [][]float64) (int, int) {
+	a := 0
+	bestD := -1.0
+	for i, p := range pts {
+		if d := vec.Dist2(pts[0], p); d > bestD {
+			a, bestD = i, d
+		}
+	}
+	b := 0
+	bestD = -1.0
+	for i, p := range pts {
+		if d := vec.Dist2(pts[a], p); d > bestD {
+			b, bestD = i, d
+		}
+	}
+	if a == b {
+		b = (a + 1) % len(pts)
+	}
+	return a, b
+}
+
+// partition assigns each index to the nearer of the two pivots, then
+// rebalances so both sides reach minFill (moving the entries whose
+// pivot-distance difference is smallest).
+func partition(pts [][]float64, pa, pb []float64, minFill int) ([]int, []int) {
+	type scored struct {
+		idx  int
+		bias float64 // dist to A − dist to B; negative prefers A
+	}
+	all := make([]scored, len(pts))
+	var left, right []int
+	for i, p := range pts {
+		all[i] = scored{i, vec.Dist(pa, p) - vec.Dist(pb, p)}
+	}
+	for _, s := range all {
+		if s.bias <= 0 {
+			left = append(left, s.idx)
+		} else {
+			right = append(right, s.idx)
+		}
+	}
+	// Rebalance deficient sides by stealing the least-committed entries.
+	steal := func(from, to []int) ([]int, []int) {
+		bestPos := -1
+		bestAbs := math.Inf(1)
+		for pos, idx := range from {
+			if a := math.Abs(all[idx].bias); a < bestAbs {
+				bestPos, bestAbs = pos, a
+			}
+		}
+		to = append(to, from[bestPos])
+		from = append(from[:bestPos], from[bestPos+1:]...)
+		return from, to
+	}
+	for len(left) < minFill {
+		right, left = steal(right, left)
+	}
+	for len(right) < minFill {
+		left, right = steal(left, right)
+	}
+	return left, right
+}
+
+func (t *Tree) splitLeaf(n *node) (*node, *node) {
+	pts := make([][]float64, len(n.items))
+	for i, it := range n.items {
+		pts[i] = it.Sphere.Center
+	}
+	a, b := farPair(pts)
+	la, lb := partition(pts, pts[a], pts[b], t.minFill)
+	mk := func(pivotIdx int, idxs []int) *node {
+		nn := &node{leaf: true, pivot: vec.Clone(pts[pivotIdx])}
+		for _, i := range idxs {
+			nn.items = append(nn.items, n.items[i])
+		}
+		nn.refit()
+		return nn
+	}
+	return mk(a, la), mk(b, lb)
+}
+
+func (t *Tree) splitInternal(n *node) (*node, *node) {
+	pts := make([][]float64, len(n.children))
+	for i, c := range n.children {
+		pts[i] = c.pivot
+	}
+	a, b := farPair(pts)
+	la, lb := partition(pts, pts[a], pts[b], t.minFill)
+	mk := func(pivotIdx int, idxs []int) *node {
+		nn := &node{leaf: false, pivot: vec.Clone(pts[pivotIdx])}
+		for _, i := range idxs {
+			nn.children = append(nn.children, n.children[i])
+		}
+		nn.refit()
+		return nn
+	}
+	return mk(a, la), mk(b, lb)
+}

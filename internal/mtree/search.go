@@ -1,0 +1,158 @@
+package mtree
+
+import (
+	"hyperdom/internal/geom"
+)
+
+// Node is a read-only cursor over a tree node.
+type Node struct {
+	n *node
+}
+
+// Root returns a cursor to the root node; ok is false for an empty tree.
+func (t *Tree) Root() (Node, bool) {
+	if t.root == nil {
+		return Node{}, false
+	}
+	return Node{t.root}, true
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n Node) IsLeaf() bool { return n.n.leaf }
+
+// Count returns the number of spheres under the node.
+func (n Node) Count() int { return n.n.count }
+
+// Sphere returns the node's covering sphere (pivot + covering radius). The
+// returned sphere shares the node's pivot slice; callers must not modify it.
+func (n Node) Sphere() geom.Sphere {
+	return geom.Sphere{Center: n.n.pivot, Radius: n.n.radius}
+}
+
+// Children returns cursors to the node's children. Only valid on internal
+// nodes.
+func (n Node) Children() []Node {
+	out := make([]Node, len(n.n.children))
+	for i, c := range n.n.children {
+		out[i] = Node{c}
+	}
+	return out
+}
+
+// Items returns the node's items. Only valid on leaves; callers must not
+// modify the returned slice.
+func (n Node) Items() []Item { return n.n.items }
+
+// RangeSearch returns all items whose spheres intersect the query sphere.
+func (t *Tree) RangeSearch(q geom.Sphere) []Item {
+	if q.Dim() != t.dim {
+		panic("mtree: RangeSearch with mismatched dimensionality")
+	}
+	var out []Item
+	if t.root == nil {
+		return out
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if geom.MinDist(geom.Sphere{Center: n.pivot, Radius: n.radius}, q) > 0 {
+			return
+		}
+		if n.leaf {
+			for _, it := range n.items {
+				if geom.Overlap(it.Sphere, q) {
+					out = append(out, it)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Visit calls fn for every indexed item; returning false stops the walk.
+func (t *Tree) Visit(fn func(Item) bool) {
+	if t.root == nil {
+		return
+	}
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n.leaf {
+			for _, it := range n.items {
+				if !fn(it) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+// CheckInvariants validates the structural invariants and returns a
+// description of the first violation, or "".
+func (t *Tree) CheckInvariants() string {
+	if t.root == nil {
+		if t.size != 0 {
+			return "empty root but non-zero size"
+		}
+		return ""
+	}
+	leafDepth := -1
+	total := 0
+	var walk func(n *node, depth int) string
+	walk = func(n *node, depth int) string {
+		cover := geom.Sphere{Center: n.pivot, Radius: n.radius * (1 + 1e-9)}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return "leaves at differing depths"
+			}
+			if n.count != len(n.items) {
+				return "leaf count mismatch"
+			}
+			total += len(n.items)
+			for _, it := range n.items {
+				if !cover.ContainsSphere(it.Sphere) {
+					return "item escapes leaf covering sphere"
+				}
+			}
+			return ""
+		}
+		if depth == 0 && len(n.children) < 2 {
+			return "internal root with fewer than 2 children"
+		}
+		cnt := 0
+		for _, c := range n.children {
+			child := geom.Sphere{Center: c.pivot, Radius: c.radius}
+			if !cover.ContainsSphere(child) {
+				return "child escapes parent covering sphere"
+			}
+			if msg := walk(c, depth+1); msg != "" {
+				return msg
+			}
+			cnt += c.count
+		}
+		if n.count != cnt {
+			return "internal count mismatch"
+		}
+		return ""
+	}
+	if msg := walk(t.root, 0); msg != "" {
+		return msg
+	}
+	if total != t.size {
+		return "tree size does not match item total"
+	}
+	return ""
+}

@@ -1,0 +1,307 @@
+// Package poly provides closed-form real-root solvers for polynomials of
+// degree ≤ 4. The quartic solver is the O(1) primitive that Algorithm
+// Hyperbola (Section 4.3.2 of the paper) relies on to stay O(d) overall:
+// Eq. (14) reduces the Lagrange conditions of the minimum-distance problem
+// to a single quartic in the multiplier λ.
+//
+// All solvers return only real roots, deduplicated, in ascending order, and
+// polish each root with a few Newton iterations against the original
+// polynomial so that downstream geometric residuals stay small.
+package poly
+
+import (
+	"math"
+	"sort"
+)
+
+// eps is the relative tolerance used to decide that a leading coefficient
+// has effectively vanished and the degree should be lowered.
+const eps = 1e-12
+
+// Eval evaluates the polynomial with coefficients c (c[0] is the leading
+// coefficient) at x using Horner's rule.
+func Eval(c []float64, x float64) float64 {
+	var v float64
+	for _, ci := range c {
+		v = v*x + ci
+	}
+	return v
+}
+
+// EvalDeriv evaluates the derivative of the polynomial with coefficients c
+// (c[0] leading) at x.
+func EvalDeriv(c []float64, x float64) float64 {
+	n := len(c) - 1
+	var v float64
+	for i, ci := range c[:n] {
+		v = v*x + float64(n-i)*ci
+	}
+	return v
+}
+
+// Linear returns the real roots of a·x + b = 0.
+func Linear(a, b float64) []float64 {
+	if a == 0 {
+		return nil
+	}
+	return []float64{-b / a}
+}
+
+// Quadratic returns the real roots of a·x² + b·x + c = 0 in ascending
+// order. A double root is returned once. If a is (relatively) zero the
+// equation degrades to linear.
+func Quadratic(a, b, c float64) []float64 {
+	if degenerate(a, b, c) {
+		return Linear(b, c)
+	}
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return nil
+	}
+	if disc == 0 {
+		return []float64{-b / (2 * a)}
+	}
+	// Numerically stable form: avoid cancellation between -b and ±sqrt.
+	q := -0.5 * (b + math.Copysign(math.Sqrt(disc), b))
+	r1 := q / a
+	r2 := c / q
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	return []float64{r1, r2}
+}
+
+// Cubic returns the real roots of a·x³ + b·x² + c·x + d = 0 in ascending
+// order, using the trigonometric/Cardano method. If a is (relatively) zero
+// the equation degrades to quadratic.
+func Cubic(a, b, c, d float64) []float64 {
+	r, n := cubic3(a, b, c, d)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	copy(out, r[:n])
+	return out
+}
+
+// Quartic returns the real roots of a·x⁴ + b·x³ + c·x² + d·x + e = 0 in
+// ascending order, via Ferrari's method with a Cardano resolvent cubic.
+// If a is (relatively) zero the equation degrades to cubic. Quartic4 is the
+// allocation-free variant used on hot paths.
+func Quartic(a, b, c, d, e float64) []float64 {
+	r, n := Quartic4(a, b, c, d, e)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	copy(out, r[:n])
+	return out
+}
+
+// residualOK reports whether x is, within floating-point backward error, a
+// root of the polynomial c. The primary test is relative to the term
+// majorant; the secondary test handles the degenerate neighbourhood of
+// x ≈ 0 with a vanishing constant term, where the majorant itself goes to
+// zero and any ratio test breaks down.
+func residualOK(c []float64, x float64) bool {
+	res := math.Abs(Eval(c, x))
+	if res <= 2e-7*majorant(c, x) {
+		return true
+	}
+	var mc float64
+	for _, ci := range c {
+		if a := math.Abs(ci); a > mc {
+			mc = a
+		}
+	}
+	scale := mc
+	if ax := math.Abs(x); ax > 1 {
+		for i := 1; i < len(c); i++ {
+			scale *= ax
+		}
+	}
+	return res <= 1e-9*scale
+}
+
+// majorant returns Σ|c_i|·|x|^(n−i), an upper bound on the magnitude the
+// polynomial's terms can reach at x; residuals are judged relative to it.
+func majorant(c []float64, x float64) float64 {
+	ax := math.Abs(x)
+	var m float64
+	for _, ci := range c {
+		m = m*ax + math.Abs(ci)
+	}
+	if m < 1e-300 {
+		m = 1e-300
+	}
+	return m
+}
+
+// polish refines root x of the polynomial with coefficients c (c[0]
+// leading) with up to 8 damped Newton iterations. It returns the refined
+// root, or x unchanged if Newton does not improve the residual.
+func polish(c []float64, x float64) float64 {
+	best := x
+	bestRes := math.Abs(Eval(c, x))
+	cur := x
+	for i := 0; i < 8; i++ {
+		f := Eval(c, cur)
+		df := EvalDeriv(c, cur)
+		if df == 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			break
+		}
+		next := cur - f/df
+		res := math.Abs(Eval(c, next))
+		if math.IsNaN(next) || math.IsInf(next, 0) {
+			break
+		}
+		if res < bestRes {
+			best, bestRes = next, res
+		}
+		if next == cur {
+			break
+		}
+		cur = next
+	}
+	return best
+}
+
+// scanRoots is a slow, provably-complete fallback used when the closed-form
+// path misbehaves on ill-conditioned coefficients. Real roots of a
+// polynomial are separated by the real roots of its derivative, so the
+// derivative's roots (degree ≤ 3, found recursively in closed form) split
+// the real line into intervals on which the polynomial is monotone; each
+// interval whose endpoint values change sign is bisected.
+func scanRoots(c []float64) []float64 {
+	// Strip a negligible leading coefficient so the derivative split works
+	// on the true degree.
+	for len(c) > 1 && degenerate(c...) {
+		c = c[1:]
+	}
+	n := len(c) - 1
+	switch n {
+	case 0:
+		return nil
+	case 1:
+		return Linear(c[0], c[1])
+	case 2:
+		return Quadratic(c[0], c[1], c[2])
+	}
+
+	// Critical points of the polynomial = roots of the derivative.
+	dc := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dc[i] = float64(n-i) * c[i]
+	}
+	var crits []float64
+	switch n {
+	case 3:
+		crits = Quadratic(dc[0], dc[1], dc[2])
+	case 4:
+		crits = Cubic(dc[0], dc[1], dc[2], dc[3])
+	default:
+		crits = scanRoots(dc)
+	}
+
+	// Cauchy bound on root magnitude.
+	lead := math.Abs(c[0])
+	bound := 1.0
+	for _, ci := range c[1:] {
+		if m := math.Abs(ci)/lead + 1; m > bound {
+			bound = m
+		}
+	}
+	pts := make([]float64, 0, len(crits)+2)
+	pts = append(pts, -bound)
+	for _, cr := range crits {
+		if cr > -bound && cr < bound {
+			pts = append(pts, cr)
+		}
+	}
+	pts = append(pts, bound)
+	sort.Float64s(pts)
+
+	var roots []float64
+	for i := 0; i+1 < len(pts); i++ {
+		lo, hi := pts[i], pts[i+1]
+		flo, fhi := Eval(c, lo), Eval(c, hi)
+		switch {
+		case flo == 0:
+			roots = append(roots, lo)
+		case flo*fhi < 0:
+			roots = append(roots, bisect(c, lo, hi))
+		}
+	}
+	if f := Eval(c, pts[len(pts)-1]); f == 0 {
+		roots = append(roots, pts[len(pts)-1])
+	}
+	// A repeated root touches zero at a critical point without a sign
+	// change; pick those up by residual.
+	for _, cr := range crits {
+		if math.Abs(Eval(c, cr)) <= 1e-9*majorant(c, cr) {
+			roots = append(roots, cr)
+		}
+	}
+	for i, r := range roots {
+		roots[i] = polish(c, r)
+	}
+	return dedupSort(roots)
+}
+
+func bisect(c []float64, lo, hi float64) float64 {
+	flo := Eval(c, lo)
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		fm := Eval(c, mid)
+		if fm == 0 || hi-lo < 1e-15*(math.Abs(lo)+math.Abs(hi)+1) {
+			return mid
+		}
+		if flo*fm < 0 {
+			hi = mid
+		} else {
+			lo, flo = mid, fm
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// degenerate reports whether the leading coefficient c[0] is negligible
+// relative to the remaining coefficients.
+func degenerate(c ...float64) bool {
+	lead := math.Abs(c[0])
+	if lead == 0 {
+		return true
+	}
+	var m float64
+	for _, ci := range c[1:] {
+		if a := math.Abs(ci); a > m {
+			m = a
+		}
+	}
+	return lead < eps*m
+}
+
+func dedupSort(roots []float64) []float64 {
+	if len(roots) == 0 {
+		return roots
+	}
+	sort.Float64s(roots)
+	out := roots[:1]
+	for _, r := range roots[1:] {
+		last := out[len(out)-1]
+		if r-last > 1e-7*(1+math.Abs(r)+math.Abs(last)) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,76 @@
+// Package ranking implements the inverse ranking query over hypersphere
+// databases, the fourth application of the dominance operator the paper
+// names (Sections 1 and 6, ref [21, 23]): given a ranking anchor R (the
+// sphere whose vantage defines "closer"), determine which ranks the query
+// object Sq can take among the database objects when all objects are
+// uncertain.
+//
+// An object S certainly ranks before Sq iff Dom(S, Sq, R), and certainly
+// after iff Dom(Sq, S, R); everything else is undecided, so the possible
+// ranks of Sq form the interval
+//
+//	[ 1 + #certainly-before ,  N + 1 − #certainly-after ]
+//
+// With the Exact or Hyperbola criterion the interval is tight (every rank
+// inside it is attainable by some realisation of the uncertain objects
+// deciding each undecided comparison either way); with a merely correct
+// criterion fewer comparisons are certified and the interval can only
+// widen — never exclude a feasible rank.
+package ranking
+
+import (
+	"fmt"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+)
+
+// Item is the database unit, shared with the index packages.
+type Item = geom.Item
+
+// Interval is an inclusive range of attainable ranks (1-based).
+type Interval struct {
+	Lo, Hi int
+}
+
+// Contains reports whether rank r lies in the interval.
+func (iv Interval) Contains(r int) bool { return iv.Lo <= r && r <= iv.Hi }
+
+// Width returns the number of attainable ranks.
+func (iv Interval) Width() int { return iv.Hi - iv.Lo + 1 }
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string { return fmt.Sprintf("[%d, %d]", iv.Lo, iv.Hi) }
+
+// Result carries the rank interval and the per-object classification.
+type Result struct {
+	Ranks Interval
+	// Before, After and Undecided count the database objects that
+	// certainly rank before Sq, certainly after, and neither.
+	Before, After, Undecided int
+	// DomChecks counts criterion invocations.
+	DomChecks int
+}
+
+// Rank computes the attainable ranks of query among items from the vantage
+// of anchor, using the given dominance criterion for both certainty
+// directions.
+func Rank(items []Item, query, anchor geom.Sphere, crit dominance.Criterion) Result {
+	var res Result
+	for _, s := range items {
+		res.DomChecks += 2
+		switch {
+		case crit.Dominates(s.Sphere, query, anchor):
+			res.Before++
+		case crit.Dominates(query, s.Sphere, anchor):
+			res.After++
+		default:
+			res.Undecided++
+		}
+	}
+	res.Ranks = Interval{
+		Lo: 1 + res.Before,
+		Hi: len(items) + 1 - res.After,
+	}
+	return res
+}

@@ -1,0 +1,117 @@
+package ranking
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+)
+
+func pt(x, y float64) geom.Sphere { return geom.NewSphere([]float64{x, y}, 0) }
+
+// TestRankPointsExact: with point objects and a point anchor, every
+// comparison is decided, so the interval collapses to the true rank.
+func TestRankPointsExact(t *testing.T) {
+	var items []Item
+	for i, x := range []float64{1, 2, 4, 8} {
+		items = append(items, Item{Sphere: pt(x, 0), ID: i})
+	}
+	anchor := pt(0, 0)
+	res := Rank(items, pt(3, 0), anchor, dominance.Exact{})
+	if res.Ranks != (Interval{3, 3}) {
+		t.Errorf("ranks = %v, want [3, 3]", res.Ranks)
+	}
+	if res.Before != 2 || res.After != 2 || res.Undecided != 0 {
+		t.Errorf("classification %d/%d/%d", res.Before, res.After, res.Undecided)
+	}
+}
+
+// TestRankUncertaintyWidens: inflating the query's radius turns decided
+// comparisons into undecided ones and can only widen the interval.
+func TestRankUncertaintyWidens(t *testing.T) {
+	var items []Item
+	for i, x := range []float64{1, 2, 4, 8} {
+		items = append(items, Item{Sphere: pt(x, 0), ID: i})
+	}
+	anchor := pt(0, 0)
+	prev := Rank(items, geom.NewSphere([]float64{3, 0}, 0), anchor, dominance.Exact{}).Ranks
+	for _, r := range []float64{0.4, 0.9, 2.5, 6} {
+		cur := Rank(items, geom.NewSphere([]float64{3, 0}, r), anchor, dominance.Exact{}).Ranks
+		if cur.Lo > prev.Lo || cur.Hi < prev.Hi {
+			t.Fatalf("radius %v narrowed the interval: %v -> %v", r, prev, cur)
+		}
+		prev = cur
+	}
+	// At radius 6 the query straddles everything: full interval.
+	if prev != (Interval{1, 5}) {
+		t.Errorf("fully uncertain query ranks = %v, want [1, 5]", prev)
+	}
+}
+
+// TestWeakerCriterionWidens: a correct-but-unsound criterion certifies
+// fewer comparisons, so its interval must contain the exact one.
+func TestWeakerCriterionWidens(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.Intn(5)
+		items := make([]Item, 60)
+		for i := range items {
+			items[i] = Item{Sphere: randSphere(rng, d), ID: i}
+		}
+		query := randSphere(rng, d)
+		anchor := randSphere(rng, d)
+		exact := Rank(items, query, anchor, dominance.Hyperbola{}).Ranks
+		for _, crit := range []dominance.Criterion{dominance.MinMax{}, dominance.MBR{}, dominance.GP{}} {
+			weak := Rank(items, query, anchor, crit).Ranks
+			if weak.Lo > exact.Lo || weak.Hi < exact.Hi {
+				t.Fatalf("trial %d: %s interval %v excludes exact %v", trial, crit.Name(), weak, exact)
+			}
+		}
+	}
+}
+
+// TestRankSanity: the interval is always within [1, N+1] and non-empty.
+func TestRankSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(40)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{Sphere: randSphere(rng, d), ID: i}
+		}
+		res := Rank(items, randSphere(rng, d), randSphere(rng, d), dominance.Hyperbola{})
+		if res.Ranks.Lo < 1 || res.Ranks.Hi > n+1 || res.Ranks.Lo > res.Ranks.Hi {
+			t.Fatalf("trial %d: interval %v out of bounds for n=%d", trial, res.Ranks, n)
+		}
+		if res.Before+res.After+res.Undecided != n {
+			t.Fatalf("trial %d: classification does not partition the database", trial)
+		}
+		if !res.Ranks.Contains(res.Ranks.Lo) || res.Ranks.Width() != res.Ranks.Hi-res.Ranks.Lo+1 {
+			t.Fatal("Interval helpers inconsistent")
+		}
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if (Interval{2, 5}).String() != "[2, 5]" {
+		t.Errorf("String = %s", Interval{2, 5})
+	}
+}
+
+// TestRankEmptyDatabase: the only rank is 1.
+func TestRankEmptyDatabase(t *testing.T) {
+	res := Rank(nil, pt(0, 0), pt(1, 1), dominance.Exact{})
+	if res.Ranks != (Interval{1, 1}) {
+		t.Errorf("ranks = %v, want [1, 1]", res.Ranks)
+	}
+}
+
+func randSphere(rng *rand.Rand, d int) geom.Sphere {
+	c := make([]float64, d)
+	for i := range c {
+		c[i] = rng.NormFloat64() * 10
+	}
+	return geom.NewSphere(c, rng.Float64()*3)
+}

@@ -1,0 +1,120 @@
+// Package rknn implements the reverse k-nearest-neighbour query over
+// hypersphere databases, the second application of the dominance operator
+// the paper names (Section 1): an object S is a reverse kNN of the query Sq
+// unless k other objects certainly sit between them — that is, unless there
+// exist k objects Sa with Dom(Sa, Sq, S), where S itself plays the role of
+// the query sphere in the dominance test.
+//
+// With the Exact (or Hyperbola) criterion the result is the set of objects
+// for which Sq could still be among the k nearest neighbours; with a
+// correct-but-unsound criterion fewer dominators are certified, so the
+// result is a superset (perfect recall, imperfect precision) — the same
+// trade-off structure the paper measures for kNN.
+package rknn
+
+import (
+	"fmt"
+	"sort"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+	"hyperdom/internal/sstree"
+	"hyperdom/internal/vec"
+)
+
+// Item is the indexed unit, shared with the index packages.
+type Item = geom.Item
+
+// Stats counts the work a query performed.
+type Stats struct {
+	DomChecks  int // dominance-criterion invocations
+	Candidates int // candidate dominators inspected (index path only)
+}
+
+// Result is the answer of a reverse-kNN query.
+type Result struct {
+	// Items is the answer, ordered by ascending MinDist to the query.
+	Items []Item
+	K     int
+	Stats Stats
+}
+
+// BruteForce evaluates the RkNN query by scanning all object pairs: S stays
+// in the answer while fewer than k distinct objects provably dominate Sq
+// with respect to S.
+func BruteForce(items []Item, sq geom.Sphere, k int, crit dominance.Criterion) Result {
+	if k <= 0 {
+		panic(fmt.Sprintf("rknn: k = %d", k))
+	}
+	res := Result{K: k}
+	for i, s := range items {
+		dominators := 0
+		for j, sa := range items {
+			if i == j {
+				continue
+			}
+			res.Stats.DomChecks++
+			if crit.Dominates(sa.Sphere, sq, s.Sphere) {
+				dominators++
+				if dominators >= k {
+					break
+				}
+			}
+		}
+		if dominators < k {
+			res.Items = append(res.Items, s)
+		}
+	}
+	sortByMinDist(res.Items, sq)
+	return res
+}
+
+// Search evaluates the RkNN query with an SS-tree filter step: a dominator
+// Sa of Sq wrt S must have its center strictly closer to S's center than
+// Sq's center is (take the dominance condition at q = center of S), so only
+// the index items within that ball are checked. The result is identical to
+// BruteForce with the same criterion.
+func Search(tree *sstree.Tree, sq geom.Sphere, k int, crit dominance.Criterion) Result {
+	if k <= 0 {
+		panic(fmt.Sprintf("rknn: k = %d", k))
+	}
+	res := Result{K: k}
+	tree.Visit(func(s Item) bool {
+		// Candidate dominators: Dom(Sa,Sq,S) evaluated at the center of S
+		// forces Dist(ca, cS) + ra + rq < Dist(cq, cS); RangeSearch over the
+		// ball of that radius is a superset of all possible dominators.
+		r := vec.Dist(sq.Center, s.Sphere.Center)
+		dominators := 0
+		for _, sa := range tree.RangeSearch(geom.Sphere{Center: s.Sphere.Center, Radius: r}) {
+			if sa.ID == s.ID && sa.Sphere.Radius == s.Sphere.Radius &&
+				vec.Equal(sa.Sphere.Center, s.Sphere.Center) {
+				continue
+			}
+			res.Stats.Candidates++
+			res.Stats.DomChecks++
+			if crit.Dominates(sa.Sphere, sq, s.Sphere) {
+				dominators++
+				if dominators >= k {
+					break
+				}
+			}
+		}
+		if dominators < k {
+			res.Items = append(res.Items, s)
+		}
+		return true
+	})
+	sortByMinDist(res.Items, sq)
+	return res
+}
+
+func sortByMinDist(items []Item, sq geom.Sphere) {
+	sort.Slice(items, func(a, b int) bool {
+		da := geom.MinDist(items[a].Sphere, sq)
+		db := geom.MinDist(items[b].Sphere, sq)
+		if da != db {
+			return da < db
+		}
+		return items[a].ID < items[b].ID
+	})
+}

@@ -1,0 +1,148 @@
+package rknn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+	"hyperdom/internal/sstree"
+)
+
+func randItems(rng *rand.Rand, d, n int, maxR float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = 100 + rng.NormFloat64()*25
+		}
+		items[i] = Item{Sphere: geom.NewSphere(c, rng.Float64()*maxR), ID: i}
+	}
+	return items
+}
+
+func ids(items []Item) []int {
+	out := make([]int, len(items))
+	for i, it := range items {
+		out[i] = it.ID
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHandCase: points on a line at 0, 1, 2, 100; query point at 0.5.
+// For k=1: object 0 keeps Sq as 1NN candidate (nothing strictly between 0
+// and 0.5 other than Sq); object 1 likewise; object 2's nearest is object
+// 1 (certainly closer than Sq: |2−1| = 1 < |2−0.5| = 1.5); object 100 is
+// certainly closer to 2 than to Sq.
+func TestHandCase(t *testing.T) {
+	var items []Item
+	for i, x := range []float64{0, 1, 2, 100} {
+		items = append(items, Item{Sphere: geom.NewSphere([]float64{x}, 0), ID: i})
+	}
+	sq := geom.NewSphere([]float64{0.5}, 0)
+	res := BruteForce(items, sq, 1, dominance.Exact{})
+	if !equal(ids(res.Items), []int{0, 1}) {
+		t.Errorf("RkNN answer = %v, want [0 1]", ids(res.Items))
+	}
+	// k=2: object 2 needs two objects certainly closer; only object 1
+	// qualifies (object 0 at distance 2 vs Sq at 1.5), so it stays.
+	res = BruteForce(items, sq, 2, dominance.Exact{})
+	if !equal(ids(res.Items), []int{0, 1, 2}) {
+		t.Errorf("R2NN answer = %v, want [0 1 2]", ids(res.Items))
+	}
+}
+
+// TestSearchMatchesBruteForce: the index-filtered evaluation must return
+// exactly the brute-force answer for every criterion.
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, d := range []int{2, 4} {
+		items := randItems(rng, d, 600, 4)
+		tree := sstree.New(d)
+		for _, it := range items {
+			tree.Insert(it)
+		}
+		for trial := 0; trial < 8; trial++ {
+			c := make([]float64, d)
+			for j := range c {
+				c[j] = 100 + rng.NormFloat64()*25
+			}
+			sq := geom.NewSphere(c, rng.Float64()*4)
+			for _, k := range []int{1, 3} {
+				for _, crit := range []dominance.Criterion{dominance.Hyperbola{}, dominance.MinMax{}} {
+					bf := BruteForce(items, sq, k, crit)
+					se := Search(tree, sq, k, crit)
+					if !equal(ids(bf.Items), ids(se.Items)) {
+						t.Fatalf("d=%d k=%d %s: Search != BruteForce (%d vs %d items)",
+							d, k, crit.Name(), len(se.Items), len(bf.Items))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCorrectCriteriaGiveSupersets: an unsound-but-correct criterion
+// certifies fewer dominators, so its RkNN answer must contain the truth.
+func TestCorrectCriteriaGiveSupersets(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	items := randItems(rng, 3, 400, 8)
+	c := []float64{100, 100, 100}
+	sq := geom.NewSphere(c, 5)
+	truth := map[int]bool{}
+	for _, it := range BruteForce(items, sq, 2, dominance.Exact{}).Items {
+		truth[it.ID] = true
+	}
+	for _, crit := range []dominance.Criterion{dominance.MinMax{}, dominance.MBR{}, dominance.GP{}} {
+		got := map[int]bool{}
+		for _, it := range BruteForce(items, sq, 2, crit).Items {
+			got[it.ID] = true
+		}
+		for id := range truth {
+			if !got[id] {
+				t.Errorf("%s dropped true RkNN answer %d", crit.Name(), id)
+			}
+		}
+	}
+}
+
+// TestHyperbolaMatchesExact on random workloads.
+func TestHyperbolaMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	items := randItems(rng, 4, 300, 5)
+	for trial := 0; trial < 5; trial++ {
+		c := make([]float64, 4)
+		for j := range c {
+			c[j] = 100 + rng.NormFloat64()*25
+		}
+		sq := geom.NewSphere(c, rng.Float64()*5)
+		a := BruteForce(items, sq, 2, dominance.Hyperbola{})
+		b := BruteForce(items, sq, 2, dominance.Exact{})
+		if !equal(ids(a.Items), ids(b.Items)) {
+			t.Fatalf("trial %d: Hyperbola RkNN differs from Exact", trial)
+		}
+	}
+}
+
+func TestPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	BruteForce(nil, geom.NewSphere([]float64{0}, 0), 0, dominance.Exact{})
+}

@@ -1,0 +1,73 @@
+package rtree
+
+import (
+	"hyperdom/internal/geom"
+	"hyperdom/internal/vec"
+)
+
+// Delete removes one item with the given ID and an equal sphere from the
+// tree and reports whether such an item was found, using Guttman's
+// condense-tree strategy: underflowing leaves are dissolved and their
+// items reinserted.
+func (t *Tree) Delete(it Item) bool {
+	if t.root == nil {
+		return false
+	}
+	mbr := it.Sphere.MBR()
+	var orphans []Item
+	if !t.delete(t.root, it, mbr, &orphans) {
+		return false
+	}
+	t.size--
+	for t.root != nil && !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if t.root != nil && t.root.leaf && len(t.root.items) == 0 {
+		t.root = nil
+	}
+	for _, o := range orphans {
+		t.size--
+		t.Insert(o)
+	}
+	return true
+}
+
+func (t *Tree) delete(n *node, it Item, mbr geom.Rect, orphans *[]Item) bool {
+	if !n.rect.Intersects(mbr) {
+		return false
+	}
+	if n.leaf {
+		for i, cand := range n.items {
+			if cand.ID == it.ID && cand.Sphere.Radius == it.Sphere.Radius &&
+				vec.Equal(cand.Sphere.Center, it.Sphere.Center) {
+				n.items = append(n.items[:i], n.items[i+1:]...)
+				n.rects = append(n.rects[:i], n.rects[i+1:]...)
+				n.refit()
+				return true
+			}
+		}
+		return false
+	}
+	for i, c := range n.children {
+		if !t.delete(c, it, mbr, orphans) {
+			continue
+		}
+		if len(c.items)+len(c.children) < t.minFill && len(n.children) > 1 {
+			collectItems(c, orphans)
+			n.children = append(n.children[:i], n.children[i+1:]...)
+		}
+		n.refit()
+		return true
+	}
+	return false
+}
+
+func collectItems(n *node, out *[]Item) {
+	if n.leaf {
+		*out = append(*out, n.items...)
+		return
+	}
+	for _, c := range n.children {
+		collectItems(c, out)
+	}
+}

@@ -1,0 +1,253 @@
+// Package rtree implements a Guttman R-tree over hypersphere items, the
+// rectangle-bounded baseline the sphere-tree literature — and the paper's
+// introduction — compares against: "manipulating with hyperspheres in their
+// indexing structures is very effective … compared with conventional
+// well-known indexing structures based on hyperrectangles such as R-tree".
+//
+// Items are hyperspheres; each is stored under its minimum bounding
+// rectangle. Insertion uses least-volume-enlargement subtree choice and
+// Guttman's quadratic split. The tree plugs into the same kNN searches as
+// the SS-tree and M-tree (package knn), which is what makes the
+// node-access comparison in BenchmarkIndexNodeAccesses meaningful.
+package rtree
+
+import (
+	"fmt"
+	"math"
+
+	"hyperdom/internal/geom"
+)
+
+// Item is the indexed unit, shared with the other index packages.
+type Item = geom.Item
+
+// DefaultMaxFill is the default node capacity.
+const DefaultMaxFill = 24
+
+// Tree is an R-tree over d-dimensional hypersphere items. Construct with
+// New. Not safe for concurrent mutation.
+type Tree struct {
+	dim     int
+	minFill int
+	maxFill int
+	root    *node
+	size    int
+}
+
+type node struct {
+	leaf     bool
+	rect     geom.Rect
+	count    int
+	children []*node
+	items    []Item
+	rects    []geom.Rect // item MBRs, parallel to items (leaves only)
+}
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// WithMaxFill sets the node capacity (minimum 4; min fill = capacity/3).
+func WithMaxFill(m int) Option {
+	return func(t *Tree) {
+		if m < 4 {
+			m = 4
+		}
+		t.maxFill = m
+		t.minFill = m / 3
+		if t.minFill < 2 {
+			t.minFill = 2
+		}
+	}
+}
+
+// New returns an empty R-tree for dim-dimensional sphere items.
+func New(dim int, opts ...Option) *Tree {
+	if dim <= 0 {
+		panic(fmt.Sprintf("rtree: New with dimensionality %d", dim))
+	}
+	t := &Tree{dim: dim}
+	WithMaxFill(DefaultMaxFill)(t)
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of indexed spheres.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds the item to the tree.
+func (t *Tree) Insert(it Item) {
+	if it.Sphere.Dim() != t.dim {
+		panic(fmt.Sprintf("rtree: Insert of %d-dimensional sphere into %d-dimensional tree",
+			it.Sphere.Dim(), t.dim))
+	}
+	if err := it.Sphere.Validate(); err != nil {
+		panic("rtree: " + err.Error())
+	}
+	mbr := it.Sphere.MBR()
+	if t.root == nil {
+		t.root = &node{leaf: true, rect: mbr.Clone()}
+	}
+	left, right := t.insert(t.root, it, mbr)
+	if right != nil {
+		newRoot := &node{
+			leaf:     false,
+			rect:     geom.UnionRect(left.rect, right.rect),
+			children: []*node{left, right},
+			count:    left.count + right.count,
+		}
+		t.root = newRoot
+	}
+	t.size++
+}
+
+func (t *Tree) insert(n *node, it Item, mbr geom.Rect) (*node, *node) {
+	geom.UnionRectInto(&n.rect, mbr)
+	if n.leaf {
+		n.items = append(n.items, it)
+		n.rects = append(n.rects, mbr)
+		n.count = len(n.items)
+		if len(n.items) > t.maxFill {
+			return t.splitLeaf(n)
+		}
+		return n, nil
+	}
+	best := chooseSubtree(n.children, mbr)
+	left, right := t.insert(n.children[best], it, mbr)
+	n.children[best] = left
+	if right != nil {
+		n.children = append(n.children, right)
+		if len(n.children) > t.maxFill {
+			n.count++
+			return t.splitInternal(n)
+		}
+	}
+	n.count++
+	return n, nil
+}
+
+// chooseSubtree selects the child whose rectangle needs the least volume
+// enlargement to absorb mbr, breaking ties toward the smaller volume.
+func chooseSubtree(children []*node, mbr geom.Rect) int {
+	best := 0
+	bestEnl := math.Inf(1)
+	bestVol := math.Inf(1)
+	for i, c := range children {
+		vol := c.rect.Volume()
+		enl := geom.UnionRect(c.rect, mbr).Volume() - vol
+		if enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+			best, bestEnl, bestVol = i, enl, vol
+		}
+	}
+	return best
+}
+
+// quadratic split: pick the pair of seeds wasting the most volume if
+// grouped, then assign entries greedily by enlargement preference.
+func quadraticSeeds(rects []geom.Rect) (int, int) {
+	sa, sb := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			waste := geom.UnionRect(rects[i], rects[j]).Volume() -
+				rects[i].Volume() - rects[j].Volume()
+			if waste > worst {
+				worst, sa, sb = waste, i, j
+			}
+		}
+	}
+	return sa, sb
+}
+
+// assignGroups distributes indexes 0..n-1 into two groups seeded at sa, sb.
+func assignGroups(rects []geom.Rect, sa, sb, minFill int) ([]int, []int) {
+	ra := rects[sa].Clone()
+	rb := rects[sb].Clone()
+	ga := []int{sa}
+	gb := []int{sb}
+	for i := range rects {
+		if i == sa || i == sb {
+			continue
+		}
+		// Force the deficient side once the remainder runs out.
+		remaining := len(rects) - len(ga) - len(gb)
+		switch {
+		case len(ga)+remaining == minFill:
+			ga = append(ga, i)
+			geom.UnionRectInto(&ra, rects[i])
+			continue
+		case len(gb)+remaining == minFill:
+			gb = append(gb, i)
+			geom.UnionRectInto(&rb, rects[i])
+			continue
+		}
+		enlA := geom.UnionRect(ra, rects[i]).Volume() - ra.Volume()
+		enlB := geom.UnionRect(rb, rects[i]).Volume() - rb.Volume()
+		if enlA < enlB || (enlA == enlB && len(ga) <= len(gb)) {
+			ga = append(ga, i)
+			geom.UnionRectInto(&ra, rects[i])
+		} else {
+			gb = append(gb, i)
+			geom.UnionRectInto(&rb, rects[i])
+		}
+	}
+	return ga, gb
+}
+
+func (t *Tree) splitLeaf(n *node) (*node, *node) {
+	sa, sb := quadraticSeeds(n.rects)
+	ga, gb := assignGroups(n.rects, sa, sb, t.minFill)
+	mk := func(idxs []int) *node {
+		nn := &node{leaf: true}
+		for _, i := range idxs {
+			nn.items = append(nn.items, n.items[i])
+			nn.rects = append(nn.rects, n.rects[i])
+		}
+		nn.refit()
+		return nn
+	}
+	return mk(ga), mk(gb)
+}
+
+func (t *Tree) splitInternal(n *node) (*node, *node) {
+	rects := make([]geom.Rect, len(n.children))
+	for i, c := range n.children {
+		rects[i] = c.rect
+	}
+	sa, sb := quadraticSeeds(rects)
+	ga, gb := assignGroups(rects, sa, sb, t.minFill)
+	mk := func(idxs []int) *node {
+		nn := &node{leaf: false}
+		for _, i := range idxs {
+			nn.children = append(nn.children, n.children[i])
+		}
+		nn.refit()
+		return nn
+	}
+	return mk(ga), mk(gb)
+}
+
+// refit recomputes the node's rectangle and count from its entries.
+func (n *node) refit() {
+	if n.leaf {
+		n.count = len(n.items)
+		if n.count == 0 {
+			return
+		}
+		n.rect = n.rects[0].Clone()
+		for _, r := range n.rects[1:] {
+			geom.UnionRectInto(&n.rect, r)
+		}
+		return
+	}
+	n.count = 0
+	n.rect = n.children[0].rect.Clone()
+	for _, c := range n.children {
+		n.count += c.count
+		geom.UnionRectInto(&n.rect, c.rect)
+	}
+}

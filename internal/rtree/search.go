@@ -1,0 +1,161 @@
+package rtree
+
+import (
+	"hyperdom/internal/geom"
+)
+
+// Node is a read-only cursor over a tree node.
+type Node struct {
+	n *node
+}
+
+// Root returns a cursor to the root node; ok is false for an empty tree.
+func (t *Tree) Root() (Node, bool) {
+	if t.root == nil {
+		return Node{}, false
+	}
+	return Node{t.root}, true
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n Node) IsLeaf() bool { return n.n.leaf }
+
+// Count returns the number of spheres under the node.
+func (n Node) Count() int { return n.n.count }
+
+// Rect returns the node's bounding rectangle; callers must not modify it.
+func (n Node) Rect() geom.Rect { return n.n.rect }
+
+// Children returns cursors to the node's children. Only valid on internal
+// nodes.
+func (n Node) Children() []Node {
+	out := make([]Node, len(n.n.children))
+	for i, c := range n.n.children {
+		out[i] = Node{c}
+	}
+	return out
+}
+
+// Items returns the node's items. Only valid on leaves; callers must not
+// modify the returned slice.
+func (n Node) Items() []Item { return n.n.items }
+
+// RangeSearch returns all items whose spheres intersect the query sphere.
+func (t *Tree) RangeSearch(q geom.Sphere) []Item {
+	if q.Dim() != t.dim {
+		panic("rtree: RangeSearch with mismatched dimensionality")
+	}
+	var out []Item
+	if t.root == nil {
+		return out
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if geom.MinDistRectSphere(n.rect, q) > 0 {
+			return
+		}
+		if n.leaf {
+			for _, it := range n.items {
+				if geom.Overlap(it.Sphere, q) {
+					out = append(out, it)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Visit calls fn for every indexed item; returning false stops the walk.
+func (t *Tree) Visit(fn func(Item) bool) {
+	if t.root == nil {
+		return
+	}
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n.leaf {
+			for _, it := range n.items {
+				if !fn(it) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+// CheckInvariants validates the structural invariants and returns a
+// description of the first violation, or "".
+func (t *Tree) CheckInvariants() string {
+	if t.root == nil {
+		if t.size != 0 {
+			return "empty root but non-zero size"
+		}
+		return ""
+	}
+	leafDepth := -1
+	total := 0
+	var walk func(n *node, depth int) string
+	walk = func(n *node, depth int) string {
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return "leaves at differing depths"
+			}
+			if n.count != len(n.items) || len(n.items) != len(n.rects) {
+				return "leaf bookkeeping mismatch"
+			}
+			total += len(n.items)
+			for i, it := range n.items {
+				mbr := it.Sphere.MBR()
+				for j := range mbr.Lo {
+					if mbr.Lo[j] < n.rect.Lo[j]-1e-9 || mbr.Hi[j] > n.rect.Hi[j]+1e-9 {
+						return "item escapes leaf rectangle"
+					}
+					if mbr.Lo[j] != n.rects[i].Lo[j] || mbr.Hi[j] != n.rects[i].Hi[j] {
+						return "cached item MBR is stale"
+					}
+				}
+			}
+			return ""
+		}
+		if depth == 0 && len(n.children) < 2 {
+			return "internal root with fewer than 2 children"
+		}
+		cnt := 0
+		for _, c := range n.children {
+			for j := range c.rect.Lo {
+				if c.rect.Lo[j] < n.rect.Lo[j]-1e-9 || c.rect.Hi[j] > n.rect.Hi[j]+1e-9 {
+					return "child escapes parent rectangle"
+				}
+			}
+			if msg := walk(c, depth+1); msg != "" {
+				return msg
+			}
+			cnt += c.count
+		}
+		if n.count != cnt {
+			return "internal count mismatch"
+		}
+		return ""
+	}
+	if msg := walk(t.root, 0); msg != "" {
+		return msg
+	}
+	if total != t.size {
+		return "tree size does not match item total"
+	}
+	return ""
+}

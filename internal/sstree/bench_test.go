@@ -1,0 +1,77 @@
+package sstree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/geom"
+)
+
+func benchItems(n, d int, seed int64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = rng.NormFloat64() * 25
+		}
+		items[i] = Item{Sphere: geom.NewSphere(c, rng.Float64()*2), ID: i}
+	}
+	return items
+}
+
+// BenchmarkInsert measures incremental insertion throughput.
+func BenchmarkInsert(b *testing.B) {
+	for _, d := range []int{2, 8} {
+		items := benchItems(100000, d, 1)
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			tr := New(d)
+			for i := 0; i < b.N; i++ {
+				tr.Insert(items[i%len(items)])
+			}
+		})
+	}
+}
+
+// BenchmarkRangeSearch measures intersection queries against a 50k tree.
+func BenchmarkRangeSearch(b *testing.B) {
+	for _, d := range []int{2, 8} {
+		items := benchItems(50000, d, 2)
+		tr := New(d)
+		tr.BulkLoad(items)
+		queries := benchItems(256, d, 3)
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)].Sphere
+				tr.RangeSearch(q)
+			}
+		})
+	}
+}
+
+// BenchmarkDelete measures deletion from a 20k tree (rebuilt per batch via
+// timer exclusion).
+func BenchmarkDelete(b *testing.B) {
+	items := benchItems(20000, 4, 4)
+	b.StopTimer()
+	tr := New(4)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	idx := 0
+	b.StartTimer()
+	for i := 0; i < b.N; i++ {
+		if idx == len(items) {
+			b.StopTimer()
+			tr = New(4)
+			for _, it := range items {
+				tr.Insert(it)
+			}
+			idx = 0
+			b.StartTimer()
+		}
+		tr.Delete(items[idx])
+		idx++
+	}
+}

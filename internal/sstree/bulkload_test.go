@@ -1,0 +1,234 @@
+package sstree
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hyperdom/internal/geom"
+)
+
+func TestBulkLoadInvariantsAcrossSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sizes := []int{1, 2, 3, 5, 24, 25, 26, 48, 49, 100, 577, 1000, 2431, 5000}
+	for _, n := range sizes {
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = randItem(rng, 4, i)
+		}
+		tr := New(4)
+		tr.BulkLoad(items)
+		if tr.Len() != n {
+			t.Errorf("n=%d: Len=%d", n, tr.Len())
+		}
+		if msg := tr.CheckInvariantsLoose(); msg != "" {
+			t.Errorf("n=%d: %s", n, msg)
+		}
+	}
+}
+
+func TestBulkLoadMatchesInsertResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	items := make([]Item, 3000)
+	for i := range items {
+		items[i] = randItem(rng, 3, i)
+	}
+	bulk := New(3)
+	bulk.BulkLoad(items)
+	inc := New(3)
+	for _, it := range items {
+		inc.Insert(it)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := randItem(rng, 3, -1).Sphere
+		q.Radius += 5 * rng.Float64()
+		a := idsOf(bulk.RangeSearch(q))
+		b := idsOf(inc.RangeSearch(q))
+		if !equalInts(a, b) {
+			t.Fatalf("trial %d: bulk answer (%d) differs from incremental (%d)", trial, len(a), len(b))
+		}
+	}
+}
+
+func TestBulkLoadPanics(t *testing.T) {
+	tr := New(2)
+	tr.Insert(Item{Sphere: geom.NewSphere([]float64{0, 0}, 1), ID: 0})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("BulkLoad into non-empty tree did not panic")
+			}
+		}()
+		tr.BulkLoad([]Item{{Sphere: geom.NewSphere([]float64{1, 1}, 1), ID: 1}})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("BulkLoad with wrong dimensionality did not panic")
+			}
+		}()
+		fresh := New(2)
+		fresh.BulkLoad([]Item{{Sphere: geom.NewSphere([]float64{1, 1, 1}, 1), ID: 1}})
+	}()
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := New(3)
+	tr.BulkLoad(nil)
+	if tr.Len() != 0 {
+		t.Error("BulkLoad(nil) produced items")
+	}
+}
+
+func TestBulkLoadDoesNotRetainInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	items := make([]Item, 200)
+	for i := range items {
+		items[i] = randItem(rng, 2, i)
+	}
+	tr := New(2)
+	tr.BulkLoad(items)
+	// Scrambling the caller's slice must not affect the tree.
+	for i := range items {
+		items[i] = Item{Sphere: geom.NewSphere([]float64{-999, -999}, 0), ID: -1}
+	}
+	seen := 0
+	tr.Visit(func(it Item) bool {
+		if it.ID == -1 {
+			t.Fatal("tree retained the caller's slice")
+		}
+		seen++
+		return true
+	})
+	if seen != 200 {
+		t.Errorf("visited %d items", seen)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	tr, items := buildTree(t, rng, 5, 2000)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if got.Len() != tr.Len() || got.Dim() != tr.Dim() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", got.Len(), got.Dim(), tr.Len(), tr.Dim())
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := randItem(rng, 5, -1).Sphere
+		q.Radius += 5 * rng.Float64()
+		if !equalInts(idsOf(tr.RangeSearch(q)), idsOf(got.RangeSearch(q))) {
+			t.Fatalf("trial %d: restored tree answers differently", trial)
+		}
+	}
+	// The restored tree must accept further inserts.
+	got.Insert(randItem(rng, 5, 10_000))
+	if got.Len() != len(items)+1 {
+		t.Errorf("insert after restore: Len=%d", got.Len())
+	}
+}
+
+func TestSerializeEmptyTree(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := New(3).WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if got.Len() != 0 || got.Dim() != 3 {
+		t.Errorf("empty round trip: Len=%d Dim=%d", got.Len(), got.Dim())
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadFromRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	snap := treeSnapshot{Version: 99, Dim: 2, MinFill: 2, MaxFill: 8}
+	if err := encodeSnapshot(&buf, snap); err != nil {
+		t.Fatalf("encoding: %v", err)
+	}
+	if _, err := ReadFrom(&buf); err == nil {
+		t.Error("future snapshot version accepted")
+	}
+}
+
+func TestReadFromRejectsCorruptHeader(t *testing.T) {
+	for name, snap := range map[string]treeSnapshot{
+		"zero dim":      {Version: snapshotVersion, Dim: 0, MinFill: 2, MaxFill: 8},
+		"tiny maxfill":  {Version: snapshotVersion, Dim: 2, MinFill: 2, MaxFill: 1},
+		"negative size": {Version: snapshotVersion, Dim: 2, MinFill: 2, MaxFill: 8, Size: -3},
+	} {
+		var buf bytes.Buffer
+		if err := encodeSnapshot(&buf, snap); err != nil {
+			t.Fatalf("%s: encoding: %v", name, err)
+		}
+		if _, err := ReadFrom(&buf); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBulkLoadedTreeSerializes(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	items := make([]Item, 700)
+	for i := range items {
+		items[i] = randItem(rng, 3, i)
+	}
+	tr := New(3)
+	tr.BulkLoad(items)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom of a bulk-loaded tree: %v", err)
+	}
+	if got.Len() != 700 {
+		t.Errorf("Len=%d", got.Len())
+	}
+}
+
+func BenchmarkBulkLoadVsInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	items := make([]Item, 20000)
+	for i := range items {
+		items[i] = randItem(rng, 6, i)
+	}
+	b.Run("Insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := New(6)
+			for _, it := range items {
+				tr.Insert(it)
+			}
+		}
+	})
+	b.Run("BulkLoad", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := New(6)
+			tr.BulkLoad(items)
+		}
+	})
+}
+
+func idsOf(items []Item) []int {
+	out := make([]int, len(items))
+	for i, it := range items {
+		out[i] = it.ID
+	}
+	sort.Ints(out)
+	return out
+}

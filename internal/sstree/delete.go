@@ -1,0 +1,169 @@
+package sstree
+
+import (
+	"hyperdom/internal/geom"
+	"hyperdom/internal/vec"
+)
+
+// Delete removes one item with the given ID and an equal sphere from the
+// tree and reports whether such an item was found. Underflowing leaves are
+// dissolved and their remaining items reinserted, keeping the tree balanced
+// in the amortised sense the SS-tree literature uses.
+func (t *Tree) Delete(it Item) bool {
+	if t.root == nil {
+		return false
+	}
+	var orphans []Item
+	found := t.delete(t.root, it, &orphans)
+	if !found {
+		return false
+	}
+	t.size--
+	// Collapse a root that lost its fanout.
+	for t.root != nil && !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if t.root != nil && t.root.leaf && len(t.root.items) == 0 {
+		t.root = nil
+	}
+	for _, o := range orphans {
+		t.size-- // Insert will count it back
+		t.Insert(o)
+	}
+	return true
+}
+
+func sameItem(a, b Item) bool {
+	return a.ID == b.ID && a.Sphere.Radius == b.Sphere.Radius &&
+		vec.Equal(a.Sphere.Center, b.Sphere.Center)
+}
+
+// delete removes it from the subtree, collecting orphaned items from
+// dissolved leaves into orphans. It reports whether the item was found.
+func (t *Tree) delete(n *node, it Item, orphans *[]Item) bool {
+	// An indexed item's center always lies within its ancestors' bounding
+	// spheres, up to float error accumulated over refits; prune with a
+	// small relative tolerance so marginal items are still found.
+	if vec.Dist(n.centroid, it.Sphere.Center) > n.radius+1e-9*(1+n.radius) {
+		return false
+	}
+	if n.leaf {
+		for i, cand := range n.items {
+			if sameItem(cand, it) {
+				n.items = append(n.items[:i], n.items[i+1:]...)
+				n.refit()
+				return true
+			}
+		}
+		return false
+	}
+	for i, c := range n.children {
+		if !t.delete(c, it, orphans) {
+			continue
+		}
+		underflow := (c.leaf && len(c.items) < t.minFill) ||
+			(!c.leaf && len(c.children) < t.minFill)
+		if underflow && len(n.children) > 1 {
+			collectItems(c, orphans)
+			n.children = append(n.children[:i], n.children[i+1:]...)
+		}
+		n.refit()
+		return true
+	}
+	return false
+}
+
+func collectItems(n *node, out *[]Item) {
+	if n.leaf {
+		*out = append(*out, n.items...)
+		return
+	}
+	for _, c := range n.children {
+		collectItems(c, out)
+	}
+}
+
+// CheckInvariants validates the structural invariants of the tree and
+// returns a description of the first violation, or "" if the tree is
+// consistent. Intended for tests and debugging.
+//
+// Invariants: every leaf at the same depth; every node's count equals the
+// items beneath it; every item's sphere is inside its ancestors' bounding
+// spheres (within a small float tolerance); fanout within [minFill,
+// maxFill] except at the root.
+func (t *Tree) CheckInvariants() string { return t.checkInvariants(true) }
+
+// CheckInvariantsLoose validates everything CheckInvariants does except
+// the fill bounds. Bulk-loaded trees trade guaranteed minimum fill for
+// build speed and tighter spheres, so their nodes may legitimately sit
+// below minFill.
+func (t *Tree) CheckInvariantsLoose() string { return t.checkInvariants(false) }
+
+func (t *Tree) checkInvariants(strictFill bool) string {
+	if t.root == nil {
+		if t.size != 0 {
+			return "empty root but non-zero size"
+		}
+		return ""
+	}
+	leafDepth := -1
+	total := 0
+	var walk func(n *node, depth int) string
+	walk = func(n *node, depth int) string {
+		cover := geom.Sphere{Center: n.centroid, Radius: n.radius * (1 + 1e-9)}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return "leaves at differing depths"
+			}
+			if strictFill && depth != 0 && (len(n.items) < t.minFill || len(n.items) > t.maxFill) {
+				return "leaf fill out of bounds"
+			}
+			if len(n.items) > t.maxFill {
+				return "leaf overflow"
+			}
+			if n.count != len(n.items) {
+				return "leaf count mismatch"
+			}
+			total += len(n.items)
+			for _, it := range n.items {
+				if !cover.ContainsSphere(it.Sphere) {
+					return "item escapes leaf bounding sphere"
+				}
+			}
+			return ""
+		}
+		if strictFill && depth != 0 && (len(n.children) < t.minFill || len(n.children) > t.maxFill) {
+			return "internal fill out of bounds"
+		}
+		if len(n.children) > t.maxFill {
+			return "internal overflow"
+		}
+		if depth == 0 && len(n.children) < 2 {
+			return "internal root with fewer than 2 children"
+		}
+		cnt := 0
+		for _, c := range n.children {
+			child := geom.Sphere{Center: c.centroid, Radius: c.radius}
+			if !cover.ContainsSphere(child) {
+				return "child escapes parent bounding sphere"
+			}
+			if msg := walk(c, depth+1); msg != "" {
+				return msg
+			}
+			cnt += c.count
+		}
+		if n.count != cnt {
+			return "internal count mismatch"
+		}
+		return ""
+	}
+	if msg := walk(t.root, 0); msg != "" {
+		return msg
+	}
+	if total != t.size {
+		return "tree size does not match item total"
+	}
+	return ""
+}

@@ -1,0 +1,71 @@
+package sstree
+
+import (
+	"testing"
+
+	"hyperdom/internal/geom"
+)
+
+// FuzzTreeOps decodes the fuzz input into a sequence of insert/delete
+// operations and checks the structural invariants after the batch: the
+// classic stateful-fuzzing harness for the index.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 250, 251, 252})
+	f.Add([]byte{10, 10, 10, 10})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip()
+		}
+		tr := New(2, WithMaxFill(4)) // tiny fanout: maximum structural churn
+		var live []Item
+		next := 0
+		for i := 0; i+2 < len(data); i += 3 {
+			op, bx, by := data[i], data[i+1], data[i+2]
+			if op < 200 || len(live) == 0 {
+				it := Item{
+					Sphere: geom.NewSphere(
+						[]float64{float64(bx), float64(by)},
+						float64(op%16),
+					),
+					ID: next,
+				}
+				next++
+				tr.Insert(it)
+				live = append(live, it)
+			} else {
+				victim := int(bx) % len(live)
+				if !tr.Delete(live[victim]) {
+					t.Fatalf("delete of live item %d failed", live[victim].ID)
+				}
+				live = append(live[:victim], live[victim+1:]...)
+			}
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("Len=%d, live=%d", tr.Len(), len(live))
+		}
+		if msg := tr.CheckInvariants(); msg != "" {
+			t.Fatalf("invariant violated: %s", msg)
+		}
+		// Every live item must be findable by a range query at its center.
+		for _, it := range live[:min(len(live), 16)] {
+			found := false
+			for _, got := range tr.RangeSearch(it.Sphere) {
+				if got.ID == it.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("live item %d not found by range search", it.ID)
+			}
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,116 @@
+package sstree
+
+import (
+	"sort"
+
+	"hyperdom/internal/geom"
+)
+
+// Node is a read-only cursor over a tree node, used by search algorithms
+// (package knn) and by tests.
+type Node struct {
+	n *node
+}
+
+// Root returns a cursor to the root node; ok is false for an empty tree.
+func (t *Tree) Root() (Node, bool) {
+	if t.root == nil {
+		return Node{}, false
+	}
+	return Node{t.root}, true
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n Node) IsLeaf() bool { return n.n.leaf }
+
+// Count returns the number of spheres under the node.
+func (n Node) Count() int { return n.n.count }
+
+// Sphere returns the node's bounding sphere. The returned sphere shares the
+// node's centroid slice; callers must not modify it.
+func (n Node) Sphere() geom.Sphere {
+	return geom.Sphere{Center: n.n.centroid, Radius: n.n.radius}
+}
+
+// Children returns cursors to the node's children. Only valid on internal
+// nodes.
+func (n Node) Children() []Node {
+	out := make([]Node, len(n.n.children))
+	for i, c := range n.n.children {
+		out[i] = Node{c}
+	}
+	return out
+}
+
+// Items returns the node's items. Only valid on leaves. The returned slice
+// is the node's own; callers must not modify it.
+func (n Node) Items() []Item { return n.n.items }
+
+// RangeSearch returns all items whose spheres intersect the query sphere q
+// (MinDist(item, q) == 0), in unspecified order.
+func (t *Tree) RangeSearch(q geom.Sphere) []Item {
+	if q.Dim() != t.dim {
+		panic("sstree: RangeSearch with mismatched dimensionality")
+	}
+	var out []Item
+	if t.root == nil {
+		return out
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if geom.MinDist(geom.Sphere{Center: n.centroid, Radius: n.radius}, q) > 0 {
+			return
+		}
+		if n.leaf {
+			for _, it := range n.items {
+				if geom.Overlap(it.Sphere, q) {
+					out = append(out, it)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Visit calls fn for every indexed item in unspecified order; returning
+// false from fn stops the walk.
+func (t *Tree) Visit(fn func(Item) bool) {
+	if t.root == nil {
+		return
+	}
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n.leaf {
+			for _, it := range n.items {
+				if !fn(it) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+func sortItemsByDim(items []Item, dim int) {
+	sort.Slice(items, func(i, j int) bool {
+		return items[i].Sphere.Center[dim] < items[j].Sphere.Center[dim]
+	})
+}
+
+func sortChildrenByDim(children []*node, dim int) {
+	sort.Slice(children, func(i, j int) bool {
+		return children[i].centroid[dim] < children[j].centroid[dim]
+	})
+}

@@ -1,0 +1,306 @@
+// Package sstree implements an SS-tree (White & Jain, ICDE 1996): a
+// height-balanced similarity-search tree whose nodes are bounded by
+// hyperspheres rather than hyperrectangles. The paper's kNN experiments
+// (Section 7.2) index the dataset with an SS-tree and run the DF and HS
+// search strategies over it; this package provides the index, and package
+// knn provides the searches.
+//
+// Each node maintains the centroid of the sphere centers stored beneath it
+// and a covering radius, so the bounding sphere of a node is directly
+// comparable against a query hypersphere with geom.MinDist/MaxDist.
+// Insertion descends to the child with the nearest centroid and splits
+// overflowing nodes along the coordinate of highest centroid variance, the
+// two defining heuristics of the SS-tree.
+package sstree
+
+import (
+	"fmt"
+	"math"
+
+	"hyperdom/internal/geom"
+	"hyperdom/internal/vec"
+)
+
+// Item is one indexed hypersphere together with its caller-assigned ID.
+// It is an alias for geom.Item so that indexes and search algorithms share
+// one item type.
+type Item = geom.Item
+
+// DefaultMaxFill is the default node capacity.
+const DefaultMaxFill = 24
+
+// Tree is an SS-tree over d-dimensional hyperspheres. The zero value is not
+// usable; construct with New. A Tree is not safe for concurrent mutation;
+// concurrent read-only use is safe.
+type Tree struct {
+	dim     int
+	minFill int
+	maxFill int
+	root    *node
+	size    int
+}
+
+type node struct {
+	leaf     bool
+	centroid []float64
+	radius   float64
+	count    int // spheres in this subtree
+	children []*node
+	items    []Item
+}
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// WithMaxFill sets the node capacity (and the minimum fill to capacity/3,
+// at least 2). Capacities below 4 are raised to 4.
+func WithMaxFill(m int) Option {
+	return func(t *Tree) {
+		if m < 4 {
+			m = 4
+		}
+		t.maxFill = m
+		t.minFill = m / 3
+		if t.minFill < 2 {
+			t.minFill = 2
+		}
+	}
+}
+
+// New returns an empty SS-tree for dim-dimensional spheres.
+func New(dim int, opts ...Option) *Tree {
+	if dim <= 0 {
+		panic(fmt.Sprintf("sstree: New with dimensionality %d", dim))
+	}
+	t := &Tree{dim: dim}
+	WithMaxFill(DefaultMaxFill)(t)
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of indexed spheres.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the height of the tree (0 for an empty tree, 1 for a
+// single leaf).
+func (t *Tree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if n.leaf {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// Insert adds the item to the tree. The item's sphere must match the
+// tree's dimensionality.
+func (t *Tree) Insert(it Item) {
+	if it.Sphere.Dim() != t.dim {
+		panic(fmt.Sprintf("sstree: Insert of %d-dimensional sphere into %d-dimensional tree",
+			it.Sphere.Dim(), t.dim))
+	}
+	if err := it.Sphere.Validate(); err != nil {
+		panic("sstree: " + err.Error())
+	}
+	if t.root == nil {
+		t.root = &node{leaf: true, centroid: make([]float64, t.dim)}
+	}
+	left, right := t.insert(t.root, it)
+	if right != nil {
+		// Root split: grow the tree by one level.
+		newRoot := &node{
+			leaf:     false,
+			centroid: make([]float64, t.dim),
+			children: []*node{left, right},
+		}
+		newRoot.refit()
+		t.root = newRoot
+	}
+	t.size++
+}
+
+// insert descends, inserts, refits bounding spheres on the way out, and
+// returns (n, nil) normally or the two halves on overflow.
+func (t *Tree) insert(n *node, it Item) (*node, *node) {
+	if n.leaf {
+		n.items = append(n.items, it)
+		if len(n.items) > t.maxFill {
+			return t.splitLeaf(n)
+		}
+		n.refit()
+		return n, nil
+	}
+	best := t.chooseSubtree(n, it.Sphere.Center)
+	left, right := t.insert(n.children[best], it)
+	n.children[best] = left
+	if right != nil {
+		n.children = append(n.children, right)
+		if len(n.children) > t.maxFill {
+			return t.splitInternal(n)
+		}
+	}
+	n.refit()
+	return n, nil
+}
+
+// chooseSubtree returns the index of the child whose centroid is nearest to
+// p, breaking ties toward the smaller covering radius.
+func (t *Tree) chooseSubtree(n *node, p []float64) int {
+	best := 0
+	bestDist := math.Inf(1)
+	for i, c := range n.children {
+		d := vec.Dist2(c.centroid, p)
+		if d < bestDist || (d == bestDist && c.radius < n.children[best].radius) {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// refit recomputes the centroid (mean of the underlying sphere centers),
+// covering radius and count of n from its direct entries.
+func (n *node) refit() {
+	for i := range n.centroid {
+		n.centroid[i] = 0
+	}
+	if n.leaf {
+		n.count = len(n.items)
+		if n.count == 0 {
+			n.radius = 0
+			return
+		}
+		for _, it := range n.items {
+			for i, c := range it.Sphere.Center {
+				n.centroid[i] += c
+			}
+		}
+		inv := 1 / float64(n.count)
+		for i := range n.centroid {
+			n.centroid[i] *= inv
+		}
+		n.radius = 0
+		for _, it := range n.items {
+			if r := vec.Dist(n.centroid, it.Sphere.Center) + it.Sphere.Radius; r > n.radius {
+				n.radius = r
+			}
+		}
+		return
+	}
+	n.count = 0
+	for _, c := range n.children {
+		n.count += c.count
+	}
+	if n.count == 0 {
+		n.radius = 0
+		return
+	}
+	for _, c := range n.children {
+		w := float64(c.count)
+		for i, x := range c.centroid {
+			n.centroid[i] += w * x
+		}
+	}
+	inv := 1 / float64(n.count)
+	for i := range n.centroid {
+		n.centroid[i] *= inv
+	}
+	n.radius = 0
+	for _, c := range n.children {
+		if r := vec.Dist(n.centroid, c.centroid) + c.radius; r > n.radius {
+			n.radius = r
+		}
+	}
+}
+
+// maxVarianceDim returns the coordinate with the highest variance over the
+// given points.
+func maxVarianceDim(pts [][]float64, dim int) int {
+	best, bestVar := 0, -1.0
+	n := float64(len(pts))
+	for i := 0; i < dim; i++ {
+		var s, s2 float64
+		for _, p := range pts {
+			s += p[i]
+			s2 += p[i] * p[i]
+		}
+		v := s2/n - (s/n)*(s/n)
+		if v > bestVar {
+			best, bestVar = i, v
+		}
+	}
+	return best
+}
+
+// bestSplitIndex returns k minimising the summed variance of vals[:k] and
+// vals[k:] along the split coordinate, with both sides at least minFill.
+// vals must be sorted.
+func bestSplitIndex(vals []float64, minFill int) int {
+	n := len(vals)
+	prefix := make([]float64, n+1)
+	prefix2 := make([]float64, n+1)
+	for i, v := range vals {
+		prefix[i+1] = prefix[i] + v
+		prefix2[i+1] = prefix2[i] + v*v
+	}
+	ss := func(lo, hi int) float64 { // sum of squared deviations of vals[lo:hi]
+		c := float64(hi - lo)
+		s := prefix[hi] - prefix[lo]
+		s2 := prefix2[hi] - prefix2[lo]
+		return s2 - s*s/c
+	}
+	bestK, bestCost := minFill, math.Inf(1)
+	for k := minFill; k <= n-minFill; k++ {
+		if cost := ss(0, k) + ss(k, n); cost < bestCost {
+			bestK, bestCost = k, cost
+		}
+	}
+	return bestK
+}
+
+func (t *Tree) splitLeaf(n *node) (*node, *node) {
+	pts := make([][]float64, len(n.items))
+	for i, it := range n.items {
+		pts[i] = it.Sphere.Center
+	}
+	dim := maxVarianceDim(pts, t.dim)
+	sortItemsByDim(n.items, dim)
+	vals := make([]float64, len(n.items))
+	for i, it := range n.items {
+		vals[i] = it.Sphere.Center[dim]
+	}
+	k := bestSplitIndex(vals, t.minFill)
+	right := &node{leaf: true, centroid: make([]float64, t.dim)}
+	right.items = append(right.items, n.items[k:]...)
+	n.items = n.items[:k]
+	n.refit()
+	right.refit()
+	return n, right
+}
+
+func (t *Tree) splitInternal(n *node) (*node, *node) {
+	pts := make([][]float64, len(n.children))
+	for i, c := range n.children {
+		pts[i] = c.centroid
+	}
+	dim := maxVarianceDim(pts, t.dim)
+	sortChildrenByDim(n.children, dim)
+	vals := make([]float64, len(n.children))
+	for i, c := range n.children {
+		vals[i] = c.centroid[dim]
+	}
+	k := bestSplitIndex(vals, t.minFill)
+	right := &node{leaf: false, centroid: make([]float64, t.dim)}
+	right.children = append(right.children, n.children[k:]...)
+	n.children = n.children[:k]
+	n.refit()
+	right.refit()
+	return n, right
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Error("Mean broken")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of singleton != 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {-1, 1}, {101, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+	// Must not mutate the input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	xs := []float64{1.5, -2, 7, 7, 3.25, 0}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Errorf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-Mean(xs)) > 1e-12 {
+		t.Errorf("Welford mean %v vs batch %v", w.Mean(), Mean(xs))
+	}
+	if math.Abs(w.StdDev()-StdDev(xs)) > 1e-12 {
+		t.Errorf("Welford stddev %v vs batch %v", w.StdDev(), StdDev(xs))
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "demo", Header: []string{"name", "value"}}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("a-much-longer-name", "22")
+	out := tab.Render()
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns must align: "value" cells start at the same offset.
+	h := strings.Index(lines[1], "value")
+	r1 := strings.Index(lines[3], "1")
+	if h != r1 {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}

@@ -1,0 +1,73 @@
+// Package topk implements the top-k dominating query over hypersphere
+// databases, the third application the paper names (Section 6, refs [33,
+// 24]): rank every object by how many other objects it provably dominates
+// with respect to the query hypersphere, and return the k highest-scoring
+// objects.
+//
+// Scores computed with a correct-but-unsound criterion are lower bounds of
+// the true scores, so rankings can only demote objects; with the Exact or
+// Hyperbola criterion the scores — and hence the ranking — are exact.
+package topk
+
+import (
+	"fmt"
+	"sort"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+)
+
+// Item is the indexed unit, shared with the index packages.
+type Item = geom.Item
+
+// Scored is an item with its dominance score.
+type Scored struct {
+	Item  Item
+	Score int // number of other objects the item dominates wrt the query
+}
+
+// Result is the answer of a top-k dominating query.
+type Result struct {
+	// Top holds the k best items, highest score first (ties by ID).
+	Top []Scored
+	// Scores holds every object's score, in input order.
+	Scores []int
+	// DomChecks counts criterion invocations.
+	DomChecks int
+}
+
+// Query computes dominance scores for all items and returns the top k.
+func Query(items []Item, sq geom.Sphere, k int, crit dominance.Criterion) Result {
+	if k <= 0 {
+		panic(fmt.Sprintf("topk: k = %d", k))
+	}
+	res := Result{Scores: make([]int, len(items))}
+	for i, sa := range items {
+		for j, sb := range items {
+			if i == j {
+				continue
+			}
+			res.DomChecks++
+			if crit.Dominates(sa.Sphere, sb.Sphere, sq) {
+				res.Scores[i]++
+			}
+		}
+	}
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if res.Scores[order[a]] != res.Scores[order[b]] {
+			return res.Scores[order[a]] > res.Scores[order[b]]
+		}
+		return items[order[a]].ID < items[order[b]].ID
+	})
+	if k > len(order) {
+		k = len(order)
+	}
+	for _, idx := range order[:k] {
+		res.Top = append(res.Top, Scored{Item: items[idx], Score: res.Scores[idx]})
+	}
+	return res
+}

@@ -1,0 +1,88 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+)
+
+func randItems(rng *rand.Rand, d, n int, maxR float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = 100 + rng.NormFloat64()*25
+		}
+		items[i] = Item{Sphere: geom.NewSphere(c, rng.Float64()*maxR), ID: i}
+	}
+	return items
+}
+
+// TestHandCase: collinear points with the query at the origin — closer
+// points dominate all strictly farther points.
+func TestHandCase(t *testing.T) {
+	var items []Item
+	for i, x := range []float64{1, 2, 3, 4} {
+		items = append(items, Item{Sphere: geom.NewSphere([]float64{x}, 0), ID: i})
+	}
+	sq := geom.NewSphere([]float64{0}, 0)
+	res := Query(items, sq, 2, dominance.Exact{})
+	wantScores := []int{3, 2, 1, 0}
+	for i, w := range wantScores {
+		if res.Scores[i] != w {
+			t.Errorf("score[%d] = %d, want %d", i, res.Scores[i], w)
+		}
+	}
+	if len(res.Top) != 2 || res.Top[0].Item.ID != 0 || res.Top[1].Item.ID != 1 {
+		t.Errorf("top-2 = %+v, want items 0 and 1", res.Top)
+	}
+}
+
+// TestScoresAreLowerBounds: correct criteria cannot overcount.
+func TestScoresAreLowerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	items := randItems(rng, 3, 150, 8)
+	sq := geom.NewSphere([]float64{100, 100, 100}, 5)
+	truth := Query(items, sq, 5, dominance.Exact{})
+	for _, crit := range []dominance.Criterion{dominance.MinMax{}, dominance.MBR{}, dominance.GP{}} {
+		got := Query(items, sq, 5, crit)
+		for i := range items {
+			if got.Scores[i] > truth.Scores[i] {
+				t.Errorf("%s overcounted item %d: %d > %d", crit.Name(), i, got.Scores[i], truth.Scores[i])
+			}
+		}
+	}
+}
+
+// TestHyperbolaMatchesExact: scores must agree exactly.
+func TestHyperbolaMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	items := randItems(rng, 4, 150, 5)
+	sq := geom.NewSphere([]float64{100, 100, 100, 100}, 3)
+	a := Query(items, sq, 5, dominance.Hyperbola{})
+	b := Query(items, sq, 5, dominance.Exact{})
+	for i := range items {
+		if a.Scores[i] != b.Scores[i] {
+			t.Fatalf("score[%d]: Hyperbola %d vs Exact %d", i, a.Scores[i], b.Scores[i])
+		}
+	}
+}
+
+func TestKLargerThanDatabase(t *testing.T) {
+	items := randItems(rand.New(rand.NewSource(14)), 2, 5, 1)
+	res := Query(items, geom.NewSphere([]float64{100, 100}, 1), 50, dominance.Exact{})
+	if len(res.Top) != 5 {
+		t.Errorf("Top has %d entries, want 5", len(res.Top))
+	}
+}
+
+func TestPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	Query(nil, geom.NewSphere([]float64{0}, 0), 0, dominance.Exact{})
+}

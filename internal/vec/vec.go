@@ -1,0 +1,222 @@
+// Package vec provides small dense-vector kernels used throughout the
+// hypersphere-dominance library. All functions treat a []float64 as a point
+// or vector in d-dimensional Euclidean space and avoid allocation unless
+// they must return a fresh slice.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. It panics if the lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(dimMismatch("Dot", len(a), len(b)))
+	}
+	var s float64
+	for i, ai := range a {
+		s += ai * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float64) float64 {
+	return math.Sqrt(Dot(a, a))
+}
+
+// Norm2 returns the squared Euclidean norm of a.
+func Norm2(a []float64) float64 {
+	return Dot(a, a)
+}
+
+// Dist returns the Euclidean distance between points a and b (Eq. 1 of the
+// paper). It panics if the lengths differ.
+func Dist(a, b []float64) float64 {
+	return math.Sqrt(Dist2(a, b))
+}
+
+// Dist2 returns the squared Euclidean distance between points a and b.
+func Dist2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(dimMismatch("Dist2", len(a), len(b)))
+	}
+	var s float64
+	for i, ai := range a {
+		d := ai - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Sub returns a−b as a new slice.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(dimMismatch("Sub", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i, ai := range a {
+		out[i] = ai - b[i]
+	}
+	return out
+}
+
+// SubTo stores a−b into dst and returns dst. dst must have the same length
+// as a and b; it may alias either operand.
+func SubTo(dst, a, b []float64) []float64 {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic(dimMismatch("SubTo", len(a), len(b)))
+	}
+	for i, ai := range a {
+		dst[i] = ai - b[i]
+	}
+	return dst
+}
+
+// Add returns a+b as a new slice.
+func Add(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(dimMismatch("Add", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i, ai := range a {
+		out[i] = ai + b[i]
+	}
+	return out
+}
+
+// AddTo stores a+b into dst and returns dst.
+func AddTo(dst, a, b []float64) []float64 {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic(dimMismatch("AddTo", len(a), len(b)))
+	}
+	for i, ai := range a {
+		dst[i] = ai + b[i]
+	}
+	return dst
+}
+
+// Scale returns s·a as a new slice.
+func Scale(s float64, a []float64) []float64 {
+	out := make([]float64, len(a))
+	for i, ai := range a {
+		out[i] = s * ai
+	}
+	return out
+}
+
+// ScaleTo stores s·a into dst and returns dst.
+func ScaleTo(dst []float64, s float64, a []float64) []float64 {
+	if len(dst) != len(a) {
+		panic(dimMismatch("ScaleTo", len(dst), len(a)))
+	}
+	for i, ai := range a {
+		dst[i] = s * ai
+	}
+	return dst
+}
+
+// Axpy stores y + s·x into dst and returns dst (dst may alias x or y).
+func Axpy(dst []float64, s float64, x, y []float64) []float64 {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic(dimMismatch("Axpy", len(x), len(y)))
+	}
+	for i, xi := range x {
+		dst[i] = y[i] + s*xi
+	}
+	return dst
+}
+
+// Lerp returns (1−t)·a + t·b as a new slice.
+func Lerp(a, b []float64, t float64) []float64 {
+	if len(a) != len(b) {
+		panic(dimMismatch("Lerp", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i, ai := range a {
+		out[i] = ai + t*(b[i]-ai)
+	}
+	return out
+}
+
+// Clone returns a copy of a.
+func Clone(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// Equal reports whether a and b have the same length and identical elements.
+func Equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, ai := range a {
+		if ai != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether a and b agree element-wise within tol
+// (absolute).
+func ApproxEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, ai := range a {
+		if math.Abs(ai-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Unit returns a/‖a‖ as a new slice, and the norm. If a is the zero vector
+// it returns a copy of a and 0.
+func Unit(a []float64) ([]float64, float64) {
+	n := Norm(a)
+	if n == 0 {
+		return Clone(a), 0
+	}
+	return Scale(1/n, a), n
+}
+
+// IsFinite reports whether every element of a is finite (no NaN/±Inf).
+func IsFinite(a []float64) bool {
+	for _, ai := range a {
+		if math.IsNaN(ai) || math.IsInf(ai, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Mean returns the component-wise mean of the points in pts. It panics if
+// pts is empty or the points have differing dimensionalities.
+func Mean(pts [][]float64) []float64 {
+	if len(pts) == 0 {
+		panic("vec: Mean of empty point set")
+	}
+	d := len(pts[0])
+	out := make([]float64, d)
+	for _, p := range pts {
+		if len(p) != d {
+			panic(dimMismatch("Mean", d, len(p)))
+		}
+		for i, pi := range p {
+			out[i] += pi
+		}
+	}
+	inv := 1 / float64(len(pts))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+func dimMismatch(op string, a, b int) string {
+	return fmt.Sprintf("vec: %s dimension mismatch: %d vs %d", op, a, b)
+}

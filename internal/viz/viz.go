@@ -1,0 +1,174 @@
+// Package viz renders two-dimensional dominance instances as SVG: the two
+// object spheres, the query sphere, and the hyperbola boundary of the
+// region Ra — the picture of the paper's Figures 1 and 6. Intended for
+// documentation, debugging and the cmd/domviz tool.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// Width is the SVG pixel width (height follows the scene's aspect
+	// ratio). 0 selects 640.
+	Width int
+	// Samples is the number of polyline points per boundary branch arm
+	// (before clipping to the scene). 0 selects 1024.
+	Samples int
+}
+
+// RenderSVG draws the dominance instance. All three spheres must be
+// 2-dimensional. The boundary curve is drawn only when Sa and Sb do not
+// overlap (otherwise it does not exist and Dom is false by Lemma 1, which
+// the caption states).
+func RenderSVG(sa, sb, sq geom.Sphere, opts Options) (string, error) {
+	if sa.Dim() != 2 || sb.Dim() != 2 || sq.Dim() != 2 {
+		return "", fmt.Errorf("viz: RenderSVG requires 2-dimensional spheres")
+	}
+	for _, s := range []geom.Sphere{sa, sb, sq} {
+		if err := s.Validate(); err != nil {
+			return "", fmt.Errorf("viz: %w", err)
+		}
+	}
+	width := opts.Width
+	if width <= 0 {
+		width = 640
+	}
+	samples := opts.Samples
+	if samples <= 0 {
+		samples = 1024
+	}
+
+	verdict := dominance.Hyperbola{}.Dominates(sa, sb, sq)
+	boundary := boundaryPolyline(sa, sb, sq, samples)
+
+	// Scene bounds come from the spheres; the boundary curve is unbounded
+	// and gets clipped to the scene rather than allowed to stretch it.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	grow := func(x, y, r float64) {
+		minX = math.Min(minX, x-r)
+		minY = math.Min(minY, y-r)
+		maxX = math.Max(maxX, x+r)
+		maxY = math.Max(maxY, y+r)
+	}
+	for _, s := range []geom.Sphere{sa, sb, sq} {
+		grow(s.Center[0], s.Center[1], math.Max(s.Radius, 1e-9))
+	}
+	pad := 0.15 * math.Max(maxX-minX, maxY-minY)
+	if pad == 0 {
+		pad = 1
+	}
+	minX, minY, maxX, maxY = minX-pad, minY-pad, maxX+pad, maxY+pad
+	boundary = clipPolyline(boundary, minX, minY, maxX, maxY)
+
+	scale := float64(width) / (maxX - minX)
+	height := int(math.Ceil((maxY - minY) * scale))
+	px := func(x float64) float64 { return (x - minX) * scale }
+	py := func(y float64) float64 { return (maxY - y) * scale } // SVG y grows down
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+
+	if len(boundary) > 1 {
+		var pts strings.Builder
+		for i, p := range boundary {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.2f,%.2f", px(p[0]), py(p[1]))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#888" stroke-width="1.5" stroke-dasharray="6 3"/>`+"\n", pts.String())
+	}
+
+	circle := func(s geom.Sphere, stroke, fill, label string) {
+		r := s.Radius * scale
+		if r < 2 {
+			r = 2 // keep points visible
+		}
+		fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="%.2f" stroke="%s" fill="%s" fill-opacity="0.25" stroke-width="2"/>`+"\n",
+			px(s.Center[0]), py(s.Center[1]), r, stroke, fill)
+		fmt.Fprintf(&b, `<text x="%.2f" y="%.2f" font-size="14" fill="%s">%s</text>`+"\n",
+			px(s.Center[0])+r+3, py(s.Center[1]), stroke, label)
+	}
+	circle(sa, "#1a7f37", "#a6e3b0", "Sa")
+	circle(sb, "#c4432b", "#f5b7a8", "Sb")
+	circle(sq, "#1f6feb", "#a8c7fa", "Sq")
+
+	caption := fmt.Sprintf("Dom(Sa, Sb, Sq) = %v", verdict)
+	if geom.Overlap(sa, sb) {
+		caption += " (Sa and Sb overlap: Lemma 1)"
+	}
+	fmt.Fprintf(&b, `<text x="10" y="%d" font-size="15" fill="black">%s</text>`+"\n", height-10, caption)
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// clipPolyline keeps the contiguous run of points inside the box around
+// the longest inside stretch; dropping outside points is enough here
+// because the curve is smooth and densely sampled.
+func clipPolyline(pts [][2]float64, minX, minY, maxX, maxY float64) [][2]float64 {
+	var best, cur [][2]float64
+	flush := func() {
+		if len(cur) > len(best) {
+			best = cur
+		}
+		cur = nil
+	}
+	for _, p := range pts {
+		if p[0] >= minX && p[0] <= maxX && p[1] >= minY && p[1] <= maxY {
+			cur = append(cur, p)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return best
+}
+
+// boundaryPolyline samples the branch of Dist(cb,x) − Dist(ca,x) = ra+rb
+// nearest to ca, in world coordinates, or nil when Sa and Sb overlap.
+func boundaryPolyline(sa, sb, sq geom.Sphere, samples int) [][2]float64 {
+	ca, cb := sa.Center, sb.Center
+	dx := cb[0] - ca[0]
+	dy := cb[1] - ca[1]
+	dcc := math.Hypot(dx, dy)
+	rab := sa.Radius + sb.Radius
+	if dcc <= rab {
+		return nil
+	}
+	// Canonical frame: origin at the midpoint, e1 toward cb.
+	mx, my := (ca[0]+cb[0])/2, (ca[1]+cb[1])/2
+	e1x, e1y := dx/dcc, dy/dcc
+	e2x, e2y := -e1y, e1x
+	alpha := dcc / 2
+	hA := rab / 2
+	b2 := (alpha - hA) * (alpha + hA)
+
+	// Extent: cover the whole scene — reach at least to the query sphere
+	// and a bit beyond the focal scale.
+	reach := 2 * (alpha + sq.Radius + math.Hypot(sq.Center[0]-mx, sq.Center[1]-my))
+	out := make([][2]float64, 0, 2*samples+1)
+	for i := -samples; i <= samples; i++ {
+		y := reach * float64(i) / float64(samples)
+		var x float64
+		if rab == 0 {
+			x = 0 // the bisector line
+		} else {
+			x = -hA * math.Sqrt(1+y*y/b2)
+		}
+		out = append(out, [2]float64{
+			mx + x*e1x + y*e2x,
+			my + x*e1y + y*e2y,
+		})
+	}
+	return out
+}

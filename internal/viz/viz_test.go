@@ -1,0 +1,111 @@
+package viz
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+	"hyperdom/internal/vec"
+)
+
+func sph(r float64, c ...float64) geom.Sphere { return geom.NewSphere(c, r) }
+
+func TestRenderSVGWellFormed(t *testing.T) {
+	svg, err := RenderSVG(sph(1, 0, 0), sph(1, 9, 0), sph(2, -4, 0), Options{})
+	if err != nil {
+		t.Fatalf("RenderSVG: %v", err)
+	}
+	// Must be parseable XML.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "circle", "polyline", "Dom(Sa, Sb, Sq) = true", "Sa", "Sb", "Sq"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestRenderSVGOverlapHasNoBoundary(t *testing.T) {
+	svg, err := RenderSVG(sph(2, 0, 0), sph(2, 1, 0), sph(1, 5, 5), Options{})
+	if err != nil {
+		t.Fatalf("RenderSVG: %v", err)
+	}
+	if strings.Contains(svg, "polyline") {
+		t.Error("overlapping objects must not draw a boundary curve")
+	}
+	if !strings.Contains(svg, "Lemma 1") {
+		t.Error("overlap caption missing")
+	}
+	if !strings.Contains(svg, "= false") {
+		t.Error("overlap verdict missing")
+	}
+}
+
+func TestRenderSVGRejectsNon2D(t *testing.T) {
+	if _, err := RenderSVG(sph(1, 0, 0, 0), sph(1, 9, 0, 0), sph(1, -4, 0, 0), Options{}); err == nil {
+		t.Error("3-dimensional input accepted")
+	}
+}
+
+// TestBoundaryPolylineOnCurve: every sampled point must satisfy the
+// defining equation Dist(cb,x) − Dist(ca,x) = ra + rb.
+func TestBoundaryPolylineOnCurve(t *testing.T) {
+	sa := sph(1, -3, 2)
+	sb := sph(2, 6, -1)
+	sq := sph(1, -5, 5)
+	pts := boundaryPolyline(sa, sb, sq, 64)
+	if len(pts) == 0 {
+		t.Fatal("no boundary points")
+	}
+	rab := sa.Radius + sb.Radius
+	for i, p := range pts {
+		x := []float64{p[0], p[1]}
+		diff := vec.Dist(sb.Center, x) - vec.Dist(sa.Center, x)
+		if math.Abs(diff-rab) > 1e-6*(1+rab) {
+			t.Fatalf("point %d off-curve: diff=%v want %v", i, diff, rab)
+		}
+	}
+}
+
+// TestBoundarySeparatesVerdicts: points just inside the branch (toward ca)
+// are in Ra, points just outside are not — spot-check by evaluating the
+// point-dominance condition on both sides of a sampled boundary point.
+func TestBoundarySeparatesVerdicts(t *testing.T) {
+	sa := sph(1, 0, 0)
+	sb := sph(1, 10, 0)
+	sq := sph(0, -5, 0) // unused by the polyline except for reach
+	pts := boundaryPolyline(sa, sb, sq, 8)
+	h := dominance.Hyperbola{}
+	mid := pts[len(pts)/2] // the vertex region
+	eps := 0.05
+	inside := geom.Point([]float64{mid[0] - eps, mid[1]})
+	outside := geom.Point([]float64{mid[0] + eps, mid[1]})
+	if !h.Dominates(sa, sb, inside) {
+		t.Error("point on ca's side of the boundary should be dominated-for")
+	}
+	if h.Dominates(sa, sb, outside) {
+		t.Error("point on cb's side of the boundary should not be dominated-for")
+	}
+}
+
+func TestRenderSVGPointObjects(t *testing.T) {
+	// rab = 0: boundary degenerates to the bisector line; must still render.
+	svg, err := RenderSVG(sph(0, 0, 0), sph(0, 4, 0), sph(1, -2, 1), Options{Width: 300, Samples: 32})
+	if err != nil {
+		t.Fatalf("RenderSVG: %v", err)
+	}
+	if !strings.Contains(svg, "polyline") {
+		t.Error("bisector line missing for point objects")
+	}
+}

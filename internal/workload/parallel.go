@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"runtime"
+	"sync"
+
+	"hyperdom/internal/dominance"
+)
+
+// VerdictsParallel evaluates the criterion over the workload with a pool
+// of goroutines and returns the same slice Verdicts would. All criteria in
+// this library are stateless and safe for concurrent use, so the batch
+// parallelises embarrassingly; workers ≤ 0 selects GOMAXPROCS.
+//
+// Use it for large ground-truth computations (millions of triples); the
+// figure runners keep the serial path so their timings stay comparable to
+// the paper's single-threaded measurements.
+func VerdictsParallel(c dominance.Criterion, w []Triple, workers int) []bool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(w) {
+		workers = len(w)
+	}
+	out := make([]bool, len(w))
+	if len(w) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(w) + workers - 1) / workers
+	for start := 0; start < len(w); start += chunk {
+		end := start + chunk
+		if end > len(w) {
+			end = len(w)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = c.Dominates(w[i].A, w[i].B, w[i].Q)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"testing"
+
+	"hyperdom/internal/dataset"
+	"hyperdom/internal/dominance"
+)
+
+func TestVerdictsParallelMatchesSerial(t *testing.T) {
+	ps := dataset.SyntheticCenters(400, 4, dataset.Gaussian, 1)
+	items := dataset.Spheres(ps, dataset.GaussianRadii(20), 2)
+	w := Dominance(items, 5000, 3)
+	want := Verdicts(dominance.Hyperbola{}, w)
+	for _, workers := range []int{0, 1, 2, 7, 64, 10000} {
+		got := VerdictsParallel(dominance.Hyperbola{}, w, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: length %d", workers, len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: verdict %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestVerdictsParallelEmpty(t *testing.T) {
+	if got := VerdictsParallel(dominance.Hyperbola{}, nil, 4); len(got) != 0 {
+		t.Errorf("empty workload returned %d verdicts", len(got))
+	}
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"hyperdom/internal/dataset"
+	"hyperdom/internal/dominance"
+)
+
+func TestDominanceWorkload(t *testing.T) {
+	ps := dataset.SyntheticCenters(500, 3, dataset.Gaussian, 1)
+	items := dataset.Spheres(ps, dataset.GaussianRadii(10), 2)
+	w := Dominance(items, 1000, 3)
+	if len(w) != 1000 {
+		t.Fatalf("workload size %d", len(w))
+	}
+	for _, tr := range w {
+		if tr.A.Dim() != 3 || tr.B.Dim() != 3 || tr.Q.Dim() != 3 {
+			t.Fatal("triple with wrong dimensionality")
+		}
+	}
+	// Deterministic given the seed.
+	w2 := Dominance(items, 1000, 3)
+	for i := range w {
+		if &w[i].A.Center[0] != &w2[i].A.Center[0] {
+			// Sphere slices are shared with items; identical selection
+			// means identical backing arrays.
+			t.Fatal("same seed selected different triples")
+		}
+	}
+}
+
+func TestVerdictsAndCompare(t *testing.T) {
+	ps := dataset.SyntheticCenters(500, 3, dataset.Gaussian, 1)
+	items := dataset.Spheres(ps, dataset.GaussianRadii(30), 2)
+	w := Dominance(items, 2000, 3)
+	truth := Verdicts(dominance.Hyperbola{}, w)
+	for _, crit := range dominance.All() {
+		acc := Compare(Verdicts(crit, w), truth)
+		if acc.TP+acc.FP+acc.TN+acc.FN != len(w) {
+			t.Fatalf("%s: tallies do not sum to workload size", crit.Name())
+		}
+		if crit.Correct() && acc.Precision() != 1 {
+			t.Errorf("%s claims correctness but precision = %v", crit.Name(), acc.Precision())
+		}
+		if crit.Sound() && acc.Recall() != 1 {
+			t.Errorf("%s claims soundness but recall = %v", crit.Name(), acc.Recall())
+		}
+	}
+}
+
+func TestAccuracyEdgeCases(t *testing.T) {
+	a := Accuracy{TP: 0, FP: 0, FN: 0, TN: 10}
+	if a.Precision() != 1 || a.Recall() != 1 {
+		t.Error("all-negative workload should score 100/100 by convention")
+	}
+	b := Accuracy{TP: 3, FP: 1, FN: 2}
+	if b.Precision() != 0.75 {
+		t.Errorf("precision = %v", b.Precision())
+	}
+	if b.Recall() != 0.6 {
+		t.Errorf("recall = %v", b.Recall())
+	}
+}
+
+func TestComparePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Compare([]bool{true}, []bool{true, false})
+}
+
+func TestTimePerOp(t *testing.T) {
+	ps := dataset.SyntheticCenters(100, 3, dataset.Gaussian, 1)
+	items := dataset.Spheres(ps, dataset.GaussianRadii(10), 2)
+	w := Dominance(items, 100, 3)
+	per := TimePerOp(dominance.MinMax{}, w, 5*time.Millisecond)
+	if per <= 0 {
+		t.Errorf("TimePerOp = %v", per)
+	}
+	if per > time.Millisecond {
+		t.Errorf("TimePerOp = %v for MinMax; suspiciously slow", per)
+	}
+	if TimePerOp(dominance.MinMax{}, nil, time.Millisecond) != 0 {
+		t.Error("empty workload should time to 0")
+	}
+}
+
+func TestDominancePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty dataset")
+		}
+	}()
+	Dominance(nil, 10, 1)
+}
