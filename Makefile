@@ -2,13 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench fuzz experiments examples cover clean
+.PHONY: all build check test test-short bench bench-all fuzz experiments examples cover clean
 
-all: build test
+all: build check
 
 build:
 	$(GO) build ./...
+
+# Static analysis plus the full suite under the race detector — the gate a
+# change must pass before it ships.
+check:
 	$(GO) vet ./...
+	$(GO) test -race ./...
 
 test:
 	$(GO) test ./...
@@ -16,8 +21,14 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# One testing.B benchmark per paper table/figure plus the package micro-benches.
+# The hot-kernel benchmarks (dominance criteria, prepared-pair, kNN
+# traversals) plus the machine-readable BENCH_knn.json snapshot.
 bench:
+	$(GO) test -bench=. -benchmem ./internal/dominance ./internal/knn
+	$(GO) run ./cmd/benchkernel -o BENCH_knn.json
+
+# One testing.B benchmark per paper table/figure plus the package micro-benches.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Short fuzzing passes over the three fuzz targets.

@@ -1,0 +1,204 @@
+// Command benchkernel measures the dominance/kNN hot kernels and writes
+// the machine-readable BENCH_knn.json tracked across PRs:
+//
+//   - the Hyperbola criterion evaluated per triple versus through a
+//     PreparedPair on one fixed (Sa, Sb) at d=10, for point queries (the
+//     certain-query pruning case) and fat sphere queries;
+//   - the DF and HS kNN traversals over a 10k-item SS-tree, with their
+//     steady-state allocations per search.
+//
+// Usage:
+//
+//	benchkernel [-o BENCH_knn.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+	"hyperdom/internal/knn"
+	"hyperdom/internal/sstree"
+)
+
+// kernelBench is one benchmark row of the output file.
+type kernelBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// report is the schema of BENCH_knn.json.
+type report struct {
+	Dim              int           `json:"dim"`
+	Queries          int           `json:"queries_per_op"`
+	Benchmarks       []kernelBench `json:"benchmarks"`
+	SpeedupPointQ    float64       `json:"speedup_prepared_point_query"`
+	SpeedupSphereQ   float64       `json:"speedup_prepared_sphere_query"`
+	KnnTreeItems     int           `json:"knn_tree_items"`
+	KnnK             int           `json:"knn_k"`
+	KnnAllocsDF      int64         `json:"knn_allocs_per_search_df"`
+	KnnAllocsHS      int64         `json:"knn_allocs_per_search_hs"`
+	SpeedupTargetMet bool          `json:"speedup_target_met"` // point-query ratio >= 1.5
+}
+
+func main() {
+	out := flag.String("o", "BENCH_knn.json", "output file")
+	flag.Parse()
+
+	rep := report{Dim: 10, Queries: 512, KnnTreeItems: 10000, KnnK: 10}
+
+	sa, sb, points, spheres := pairWorkload(rand.New(rand.NewSource(123)), rep.Dim, rep.Queries)
+
+	perPoint := run("PreparedPair/PointQuery/PerTriple", &rep, func(b *testing.B) {
+		crit := dominance.Hyperbola{}
+		for i := 0; i < b.N; i++ {
+			for _, q := range points {
+				sink(crit.Dominates(sa, sb, q))
+			}
+		}
+	})
+	prepPoint := run("PreparedPair/PointQuery/Prepared", &rep, func(b *testing.B) {
+		pp := dominance.PreparePair(sa, sb)
+		for i := 0; i < b.N; i++ {
+			for _, q := range points {
+				sink(pp.Dominates(q))
+			}
+		}
+	})
+	perSphere := run("PreparedPair/SphereQuery/PerTriple", &rep, func(b *testing.B) {
+		crit := dominance.Hyperbola{}
+		for i := 0; i < b.N; i++ {
+			for _, q := range spheres {
+				sink(crit.Dominates(sa, sb, q))
+			}
+		}
+	})
+	prepSphere := run("PreparedPair/SphereQuery/Prepared", &rep, func(b *testing.B) {
+		pp := dominance.PreparePair(sa, sb)
+		for i := 0; i < b.N; i++ {
+			for _, q := range spheres {
+				sink(pp.Dominates(q))
+			}
+		}
+	})
+	rep.SpeedupPointQ = ratio(perPoint, prepPoint)
+	rep.SpeedupSphereQ = ratio(perSphere, prepSphere)
+	rep.SpeedupTargetMet = rep.SpeedupPointQ >= 1.5
+
+	idx, queries := knnFixture(rep.KnnTreeItems, 8)
+	for _, algo := range []knn.Algorithm{knn.DF, knn.HS} {
+		algo := algo
+		kb := run(fmt.Sprintf("Search/SS10k/%v", algo), &rep, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				knn.Search(idx, queries[i%len(queries)], rep.KnnK, dominance.Hyperbola{}, algo)
+			}
+		})
+		if algo == knn.DF {
+			rep.KnnAllocsDF = kb.AllocsPerOp
+		} else {
+			rep.KnnAllocsHS = kb.AllocsPerOp
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernel:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernel:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (prepared point-query speedup %.2fx, sphere-query %.2fx; knn allocs/search DF=%d HS=%d)\n",
+		*out, rep.SpeedupPointQ, rep.SpeedupSphereQ, rep.KnnAllocsDF, rep.KnnAllocsHS)
+}
+
+// run executes one testing.Benchmark, appends the row to the report and
+// returns it.
+func run(name string, rep *report, fn func(*testing.B)) kernelBench {
+	r := testing.Benchmark(fn)
+	kb := kernelBench{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	rep.Benchmarks = append(rep.Benchmarks, kb)
+	return kb
+}
+
+func ratio(base, fast kernelBench) float64 {
+	if fast.NsPerOp == 0 {
+		return 0
+	}
+	return base.NsPerOp / fast.NsPerOp
+}
+
+var sinkBool bool
+
+func sink(b bool) { sinkBool = sinkBool != b }
+
+// pairWorkload mirrors the dominance package's benchmark fixture: one fixed
+// non-overlapping (Sa, Sb) pair and a query batch straddling the dominance
+// boundary — points sharing the sphere-query centers, so the two workloads
+// differ only in query fatness.
+func pairWorkload(rng *rand.Rand, d, nq int) (sa, sb geom.Sphere, points, spheres []geom.Sphere) {
+	for {
+		sa = randSphere(rng, d, 1.5)
+		sb = randSphere(rng, d, 1.5)
+		if !geom.Overlap(sa, sb) {
+			break
+		}
+	}
+	points = make([]geom.Sphere, nq)
+	spheres = make([]geom.Sphere, nq)
+	for i := 0; i < nq; i++ {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = (sa.Center[j]+sb.Center[j])/2 + rng.NormFloat64()*6
+		}
+		points[i] = geom.Point(c)
+		spheres[i] = geom.NewSphere(c, rng.Float64()*2)
+	}
+	return sa, sb, points, spheres
+}
+
+func randSphere(rng *rand.Rand, d int, maxR float64) geom.Sphere {
+	c := make([]float64, d)
+	for j := range c {
+		c[j] = rng.Float64() * 10
+	}
+	return geom.NewSphere(c, rng.Float64()*maxR)
+}
+
+// knnFixture mirrors the knn package's allocation fixture: a 10k-item
+// SS-tree of Gaussian spheres and a query batch from the same distribution.
+func knnFixture(n, d int) (knn.Index, []geom.Sphere) {
+	rng := rand.New(rand.NewSource(7001))
+	t := sstree.New(d)
+	for i := 0; i < n; i++ {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = 100 + rng.NormFloat64()*25
+		}
+		t.Insert(geom.Item{Sphere: geom.NewSphere(c, rng.Float64()*2), ID: i})
+	}
+	queries := make([]geom.Sphere, 16)
+	for i := range queries {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = 100 + rng.NormFloat64()*25
+		}
+		queries[i] = geom.NewSphere(c, rng.Float64()*2)
+	}
+	return knn.WrapSSTree(t), queries
+}

@@ -77,6 +77,27 @@ func Dominates(sa, sb, sq Sphere) bool {
 	return dominance.Hyperbola{}.Dominates(sa, sb, sq)
 }
 
+// PreparedPair is the pair-amortized form of the Hyperbola criterion: all
+// work that depends only on (Sa, Sb) — the overlap test, the focal frame,
+// and the quartic prefactors — is done once, and each Dominates call pays
+// only two dot products plus (for fat borderline queries) the closed-form
+// quartic. Verdicts are bit-identical to Dominates(sa, sb, sq).
+//
+// Use it when one object pair is checked against many queries: moving
+// queries over fixed objects, pruning sweeps, ground-truth matrices.
+//
+//	pp := hyperdom.PreparePair(sa, sb)
+//	for _, sq := range queries {
+//	    if pp.Dominates(sq) { ... }
+//	}
+type PreparedPair = dominance.PreparedPair
+
+// PreparePair factors the (Sa, Sb)-only part of the Hyperbola criterion in
+// O(d) time; it panics if the spheres mix dimensionalities. The returned
+// value references the centers of sa and sb — do not mutate them while the
+// pair is in use.
+func PreparePair(sa, sb Sphere) PreparedPair { return dominance.PreparePair(sa, sb) }
+
 // Criterion is a decision procedure for the dominance problem. The five
 // criteria of the paper's Table 1 are available through the constructors
 // below; all are safe for concurrent use.

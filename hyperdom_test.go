@@ -184,3 +184,26 @@ func TestFindWitnessThroughFacade(t *testing.T) {
 		t.Error("witness contradicts Dominates")
 	}
 }
+
+func TestPreparePairThroughFacade(t *testing.T) {
+	sa := hyperdom.NewSphere([]float64{0, 0, 0}, 1)
+	sb := hyperdom.NewSphere([]float64{9, 0, 0}, 1)
+	pp := hyperdom.PreparePair(sa, sb)
+	queries := []hyperdom.Sphere{
+		hyperdom.NewSphere([]float64{-4, 0, 0}, 2),
+		hyperdom.NewSphere([]float64{-4, 0, 0}, 8),
+		hyperdom.Point([]float64{4.5, 1, -2}),
+		hyperdom.NewSphere([]float64{12, 3, 0}, 0.5),
+	}
+	for _, sq := range queries {
+		if got, want := pp.Dominates(sq), hyperdom.Dominates(sa, sb, sq); got != want {
+			t.Errorf("PreparePair(%v, %v).Dominates(%v) = %v, Dominates = %v", sa, sb, sq, got, want)
+		}
+	}
+	pp.Reset(sb, sa) // swapped roles: reuse without re-preparing
+	for _, sq := range queries {
+		if got, want := pp.Dominates(sq), hyperdom.Dominates(sb, sa, sq); got != want {
+			t.Errorf("after Reset: Dominates(%v) = %v, want %v", sq, got, want)
+		}
+	}
+}

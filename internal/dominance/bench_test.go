@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"hyperdom/internal/geom"
 )
 
 // BenchmarkCriteria measures every criterion across dimensionalities on a
@@ -26,6 +28,65 @@ func BenchmarkCriteria(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkPreparedPair measures the pair-amortized kernel against the
+// per-triple criterion on a fixed (Sa, Sb) pair at d = 10 — the repeated-
+// pair shape of kNN pruning and moving-query workloads.
+//
+// The headline sub-benchmarks use certain (point) queries, the classic
+// "which of A, B is closer to q" pruning check: there the per-query work is
+// exactly the two dot products plus the MDD inside test, and the
+// amortization removes the whole pair transform (~2.5× on this hardware).
+// The SphereQuery pair uses fat queries whose borderline instances run the
+// Eq. (14) quartic; that closed-form solve is query-dependent and shared by
+// both paths, so it bounds the gain there (~1.2×). BENCH_knn.json records
+// both ratios.
+func BenchmarkPreparedPair(b *testing.B) {
+	const d = 10
+	rng := rand.New(rand.NewSource(123))
+	sa, sb, points, spheres := preparedPairWorkload(rng, d, 1024)
+	var sink bool
+	run := func(name string, queries []geom.Sphere) {
+		b.Run(name+"/PerTriple", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sq := queries[i%len(queries)]
+				sink = Hyperbola{}.Dominates(sa, sb, sq) != sink
+			}
+		})
+		b.Run(name+"/Prepared", func(b *testing.B) {
+			pp := PreparePair(sa, sb)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sq := queries[i%len(queries)]
+				sink = pp.Dominates(sq) != sink
+			}
+		})
+	}
+	run("PointQuery", points)
+	run("SphereQuery", spheres)
+	_ = sink
+}
+
+// preparedPairWorkload builds a non-overlapping (Sa, Sb) pair plus point-
+// and sphere-query batches spread around it, shared by
+// BenchmarkPreparedPair and the cmd/benchkernel JSON emitter (which repeats
+// the same construction).
+func preparedPairWorkload(rng *rand.Rand, d, nq int) (sa, sb geom.Sphere, points, spheres []geom.Sphere) {
+	for {
+		sa = randSphereT(rng, d, 10, 2)
+		sb = randSphereT(rng, d, 10, 2)
+		if !geom.Overlap(sa, sb) {
+			break
+		}
+	}
+	points = make([]geom.Sphere, nq)
+	spheres = make([]geom.Sphere, nq)
+	for i := range spheres {
+		spheres[i] = randSphereT(rng, d, 10, 2)
+		points[i] = geom.Sphere{Center: spheres[i].Center, Radius: 0}
+	}
+	return sa, sb, points, spheres
 }
 
 // BenchmarkReduce isolates the O(d) coordinate transformation.

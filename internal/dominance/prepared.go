@@ -1,0 +1,194 @@
+package dominance
+
+import (
+	"math"
+
+	"hyperdom/internal/geom"
+	"hyperdom/internal/poly"
+)
+
+// PreparedPair is the pair-amortized form of the Hyperbola criterion: every
+// quantity of the canonical-frame reduction (Section 4.3.1) that depends only
+// on (Sa, Sb) — the overlap verdict, the half focal distance α, rab = ra+rb,
+// the semi-axes A = rab/2 and B² = α² − A², and the α-normalised prefactors
+// of the Eq. (14) quartic — is computed once by PreparePair. Dominates then
+// needs only the two query-dependent dot products da² = Dist²(cq,ca) and
+// db² = Dist²(cq,cb), the MDD inside test, and (when Sq is fat and cq is
+// inside Ra) the closed-form quartic.
+//
+// Verdicts are bit-identical to Hyperbola{}.Dominates(sa, sb, sq): the
+// per-query arithmetic mirrors reduce/hyperbolaDmin expression by
+// expression, with precomputed scalars substituted only where Go's
+// left-to-right association makes the substitution exact (see
+// TestPreparedPairMatchesHyperbola and FuzzPreparedPairAgree).
+//
+// A PreparedPair retains references to the centers of Sa and Sb; the caller
+// must not mutate them while the pair is in use. The zero value is not
+// meaningful; construct with PreparePair or (re)initialise with Reset.
+// Dominates performs no heap allocation, and a PreparedPair value may be
+// reused across pairs via Reset, so hot loops can keep one in scratch space.
+// It is safe for concurrent use only after initialisation (Reset is a
+// write).
+type PreparedPair struct {
+	ca, cb []float64 // centers of Sa and Sb (referenced, not copied)
+	dim    int
+	rab    float64 // ra + rb
+
+	overlap bool // Sa and Sb overlap: Dominates is constantly false (Lemma 1)
+	line    bool // 1-dimensional ambient space
+
+	// Canonical frame (valid when !overlap).
+	alpha  float64 // Dist(ca,cb)/2
+	twoDcc float64 // 2·Dist(ca,cb), the p1 divisor of reduce
+	hA     float64 // A = rab/2
+
+	// Quartic precomputation (valid when !overlap && rab > 0 && !line).
+	b2     float64 // B² = (α−A)(α+A)
+	hA2    float64 // A²
+	alpha2 float64 // α²
+	hatA2  float64 // (A/α)²
+	hatB2  float64 // B²/α²
+	c3     float64 // −2·hatB2          (q3 = c3·P2)
+	c1     float64 // −2·hatB2·hatB2    (q1 = c1·P2)
+	c0     float64 // hatB2³            (q0 = c0·P2·P2)
+}
+
+// PreparePair factors the (Sa, Sb)-only part of the Hyperbola criterion in
+// O(d) time. It panics if the spheres mix dimensionalities.
+func PreparePair(sa, sb geom.Sphere) PreparedPair {
+	var p PreparedPair
+	p.Reset(sa, sb)
+	return p
+}
+
+// Reset re-initialises p for a new (Sa, Sb) pair in place, without
+// allocating. It is the hot-loop form of PreparePair.
+func (p *PreparedPair) Reset(sa, sb geom.Sphere) {
+	d := sa.Dim()
+	if sb.Dim() != d {
+		panic("dominance: spheres with mixed dimensionality")
+	}
+	ca, cb := sa.Center, sb.Center
+	var dcc2 float64
+	for i := 0; i < d; i++ {
+		e := cb[i] - ca[i]
+		dcc2 += e * e
+	}
+	rab := sa.Radius + sb.Radius
+	*p = PreparedPair{ca: ca, cb: cb, dim: d, rab: rab}
+	if dcc2 <= rab*rab {
+		p.overlap = true
+		return
+	}
+	dcc := math.Sqrt(dcc2)
+	p.alpha = dcc / 2
+	p.twoDcc = 2 * dcc
+	p.hA = rab / 2
+	p.line = d == 1
+	if rab == 0 || p.line {
+		return // degenerate dmin cases need no quartic machinery
+	}
+	p.b2 = (p.alpha - p.hA) * (p.alpha + p.hA)
+	p.hA2 = p.hA * p.hA
+	p.alpha2 = p.alpha * p.alpha
+	p.hatA2 = (p.hA / p.alpha) * (p.hA / p.alpha)
+	p.hatB2 = p.b2 / (p.alpha * p.alpha)
+	p.c3 = -2 * p.hatB2
+	p.c1 = p.c3 * p.hatB2
+	p.c0 = p.hatB2 * p.hatB2 * p.hatB2
+}
+
+// Overlaps reports whether Sa and Sb overlap, in which case Dominates is
+// constantly false and callers can skip the per-query work entirely.
+func (p *PreparedPair) Overlaps() bool { return p.overlap }
+
+// Dominates reports whether Sa dominates Sb with respect to sq, with a
+// verdict bit-identical to Hyperbola{}.Dominates(sa, sb, sq). Cost per call:
+// one pass over cq accumulating da² and db², two square roots, and — only
+// when cq lies inside Ra and Sq has positive radius — the closed-form
+// quartic of Eq. (14). It panics if sq's dimensionality differs from the
+// pair's.
+func (p *PreparedPair) Dominates(sq geom.Sphere) bool {
+	if sq.Dim() != p.dim {
+		panic("dominance: spheres with mixed dimensionality")
+	}
+	if p.overlap {
+		return false
+	}
+	ca, cb, cq := p.ca, p.cb, sq.Center
+	var da2, db2 float64
+	for i := 0; i < p.dim; i++ {
+		ea := cq[i] - ca[i]
+		da2 += ea * ea
+		eb := cq[i] - cb[i]
+		db2 += eb * eb
+	}
+	da := math.Sqrt(da2)
+	db := math.Sqrt(db2)
+	if !(db-da > p.rab) { // cq not strictly inside Ra: MDD violated
+		return false
+	}
+	if sq.Radius == 0 { // cq strictly inside Ra and Sq = {cq}
+		return true
+	}
+	// Canonical coordinates of cq, exactly as reduce computes them.
+	p1 := (da2 - db2) / p.twoDcc
+	p22 := da2 - (p1+p.alpha)*(p1+p.alpha)
+	if p22 < 0 {
+		p22 = 0
+	}
+	p2 := math.Sqrt(p22)
+	return p.dmin(p1, p2) > sq.Radius
+}
+
+// dmin mirrors hyperbolaDmin with the (Sa, Sb)-only scalars precomputed;
+// every expression keeps the association of the original so the float64
+// result is identical.
+func (p *PreparedPair) dmin(p1, p2 float64) float64 {
+	if p.line {
+		return math.Abs(p1 + p.hA)
+	}
+	if p.rab == 0 {
+		return math.Abs(p1)
+	}
+	hA, b2 := p.hA, p.b2
+
+	distToY := func(y float64) float64 {
+		x := -hA * math.Sqrt(1+y*y/b2)
+		dx := p1 - x
+		dy := p2 - y
+		return math.Hypot(dx, dy)
+	}
+
+	dmin := distToY(0)
+
+	if y := p2 * b2 / p.alpha2; y != 0 {
+		if dd := distToY(y); dd < dmin {
+			dmin = dd
+		}
+	}
+
+	if x := p1 * hA * hA / p.alpha2; x < 0 {
+		if y2 := b2 * (x*x/p.hA2 - 1); y2 > 0 {
+			y := math.Sqrt(y2)
+			if dd := distToY(y); dd < dmin {
+				dmin = dd
+			}
+		}
+	}
+
+	P1 := p1 / p.alpha
+	P2 := p2 / p.alpha
+	q3 := p.c3 * P2
+	q2 := p.hatB2 * (1 + p.hatB2*P2*P2 - p.hatA2*P1*P1)
+	q1 := p.c1 * P2
+	q0 := p.c0 * P2 * P2
+
+	roots, n := poly.Quartic4(1.0, q3, q2, q1, q0)
+	for _, y := range roots[:n] {
+		if dd := distToY(p.alpha * y); dd < dmin {
+			dmin = dd
+		}
+	}
+	return dmin
+}

@@ -1,0 +1,126 @@
+package knn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+	"hyperdom/internal/sstree"
+)
+
+// searchAllocBudget is the steady-state allocations-per-search ceiling for
+// the tree traversals on an SS-tree. The only mandatory allocation is the
+// answer slice handed to the caller; the budget leaves room for incidental
+// growth (a pool miss after GC, a first-time buffer resize) without letting
+// per-node allocation creep back in — the old traversal allocated child
+// slices, dist slices, order permutations, sort closures and heap boxes on
+// every node visit, hundreds per search.
+const searchAllocBudget = 8
+
+// allocFixture builds the 10k-item SS-tree the allocation and benchmark
+// tests share.
+func allocFixture(n int) (Index, []geom.Sphere) {
+	rng := rand.New(rand.NewSource(7001))
+	d := 8
+	t := sstree.New(d)
+	for i := 0; i < n; i++ {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = 100 + rng.NormFloat64()*25
+		}
+		t.Insert(Item{Sphere: geom.NewSphere(c, rng.Float64()*2), ID: i})
+	}
+	queries := make([]geom.Sphere, 16)
+	for i := range queries {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = 100 + rng.NormFloat64()*25
+		}
+		queries[i] = geom.NewSphere(c, rng.Float64()*2)
+	}
+	return WrapSSTree(t), queries
+}
+
+// TestSearchAllocs is the allocation regression gate of the zero-allocation
+// kernel: a steady-state Search over a 10k-item SS-tree must stay within
+// searchAllocBudget for both traversal strategies.
+func TestSearchAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-item fixture")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; AllocsPerRun is meaningless under -race")
+	}
+	idx, queries := allocFixture(10000)
+	for _, algo := range []Algorithm{DF, HS} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			q := 0
+			// Warm the scratch pool and the arena capacities first so the
+			// measurement sees the steady state, not the first-use growth.
+			for i := 0; i < 4; i++ {
+				Search(idx, queries[i], 10, dominance.Hyperbola{}, algo)
+			}
+			allocs := testing.AllocsPerRun(64, func() {
+				Search(idx, queries[q%len(queries)], 10, dominance.Hyperbola{}, algo)
+				q++
+			})
+			if allocs > searchAllocBudget {
+				t.Errorf("%v: %.1f allocs per search, budget %d", algo, allocs, searchAllocBudget)
+			}
+		})
+	}
+}
+
+// TestSearchBatchAllocs pins the per-query allocation cost of the batch
+// path, which reuses one scratch arena per worker across all its queries.
+func TestSearchBatchAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-item fixture")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; AllocsPerRun is meaningless under -race")
+	}
+	idx, queries := allocFixture(10000)
+	SearchBatch(idx, queries, 10, dominance.Hyperbola{}, HS, 1) // warm
+	allocs := testing.AllocsPerRun(16, func() {
+		SearchBatch(idx, queries, 10, dominance.Hyperbola{}, HS, 1)
+	})
+	// Budget: one answer slice per query plus the fixed batch scaffolding
+	// (result slice, channel, waitgroup, goroutine closure).
+	budget := float64(len(queries)*searchAllocBudget + 8)
+	if allocs > budget {
+		t.Errorf("%.1f allocs per %d-query batch, budget %.0f", allocs, len(queries), budget)
+	}
+}
+
+// BenchmarkSearch measures the kNN traversals over the 10k-item SS-tree —
+// the figures BENCH_knn.json tracks across PRs.
+func BenchmarkSearch(b *testing.B) {
+	idx, queries := allocFixture(10000)
+	for _, algo := range []Algorithm{DF, HS} {
+		algo := algo
+		b.Run(fmt.Sprintf("SS10k/%v", algo), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Search(idx, queries[i%len(queries)], 10, dominance.Hyperbola{}, algo)
+			}
+		})
+	}
+}
+
+// BenchmarkSearchBatch measures batch throughput with worker-pooled scratch.
+func BenchmarkSearchBatch(b *testing.B) {
+	idx, queries := allocFixture(10000)
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("SS10k/HS/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				SearchBatch(idx, queries, 10, dominance.Hyperbola{}, HS, workers)
+			}
+		})
+	}
+}

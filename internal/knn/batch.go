@@ -32,8 +32,13 @@ func SearchBatch(idx Index, queries []geom.Sphere, k int, crit dominance.Criteri
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scratch arena per worker, reused across all its queries:
+			// the traversal buffers, heap and best-list storage are
+			// allocated once and recycled for the whole batch.
+			sc := getScratch()
+			defer putScratch(sc)
 			for i := range next {
-				out[i] = Search(idx, queries[i], k, crit, algo)
+				out[i] = sc.search(idx, queries[i], k, crit, algo)
 			}
 		}()
 	}

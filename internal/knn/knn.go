@@ -130,6 +130,8 @@ type bestList struct {
 	sq       geom.Sphere
 	k        int
 	crit     dominance.Criterion
+	hyp      bool                   // crit is the Hyperbola criterion
+	pp       dominance.PreparedPair // kernel scratch for the hyp fast path
 	entries  []entry
 	deferred []entry
 	stats    *Stats
@@ -139,6 +141,30 @@ type entry struct {
 	item    Item
 	maxDist float64
 	minDist float64
+}
+
+// reset reinitialises the list for a new search, reusing the entry storage
+// retained from previous searches on the same scratch.
+func (l *bestList) reset(sq geom.Sphere, k int, crit dominance.Criterion, stats *Stats) {
+	l.sq = sq
+	l.k = k
+	l.crit = crit
+	_, l.hyp = crit.(dominance.Hyperbola)
+	l.stats = stats
+	l.entries = l.entries[:0]
+	l.deferred = l.deferred[:0]
+}
+
+// dominates runs one criterion check of the search. With the Hyperbola
+// criterion it goes through the dominance kernel's prepared-pair path —
+// identical verdicts, no interface dispatch, and the degenerate/overlap
+// exits factored up front.
+func (l *bestList) dominates(sa, sb geom.Sphere) bool {
+	if l.hyp {
+		l.pp.Reset(sa, sb)
+		return l.pp.Dominates(l.sq)
+	}
+	return l.crit.Dominates(sa, sb, l.sq)
 }
 
 // distK returns the k-th smallest MaxDist in L, or +Inf while L holds fewer
@@ -187,7 +213,7 @@ func (l *bestList) offer(it Item) {
 	case e.minDist <= dk:
 		// Case 2: the k-th candidate may or may not dominate it (Lemma 10).
 		l.stats.DomChecks++
-		if l.crit.Dominates(l.sk().Sphere, it.Sphere, l.sq) {
+		if l.dominates(l.sk().Sphere, it.Sphere) {
 			l.stats.Pruned++
 			l.deferred = append(l.deferred, e)
 			return
@@ -207,7 +233,7 @@ func (l *bestList) evictDominated() {
 	kept := l.entries[:0]
 	for _, e := range l.entries {
 		l.stats.DomChecks++
-		if l.crit.Dominates(sk.Sphere, e.item.Sphere, l.sq) {
+		if l.dominates(sk.Sphere, e.item.Sphere) {
 			l.stats.Pruned++
 			l.deferred = append(l.deferred, e)
 			continue
@@ -234,34 +260,84 @@ func (l *bestList) finish() []Item {
 		return out
 	}
 	sk := l.sk()
-	type flagged struct {
-		entry
-		deferred bool
-	}
-	all := make([]flagged, 0, len(l.entries)+len(l.deferred))
-	for _, e := range l.entries {
-		all = append(all, flagged{e, false})
-	}
-	for _, e := range l.deferred {
-		all = append(all, flagged{e, true})
-	}
-	sort.Slice(all, func(a, b int) bool {
-		if all[a].maxDist != all[b].maxDist {
-			return all[a].maxDist < all[b].maxDist
+	// The live list is already ordered by (MaxDist, ID) — add() maintains
+	// that invariant — so sorting the deferred candidates in place and
+	// merging the two runs replaces the old gather-into-one-slice +
+	// sort.Slice pass, which allocated a combined buffer, a closure and a
+	// reflect swapper on every search.
+	sortEntries(l.deferred)
+	out := make([]Item, 0, len(l.entries)+len(l.deferred))
+	i, j := 0, 0
+	for i < len(l.entries) || j < len(l.deferred) {
+		var e entry
+		var wasDeferred bool
+		if j >= len(l.deferred) || (i < len(l.entries) && entryLess(l.entries[i], l.deferred[j])) {
+			e = l.entries[i]
+			i++
+		} else {
+			e = l.deferred[j]
+			wasDeferred = true
+			j++
 		}
-		return all[a].item.ID < all[b].item.ID
-	})
-	out := make([]Item, 0, l.k)
-	for _, e := range all {
 		l.stats.DomChecks++
-		if l.crit.Dominates(sk.Sphere, e.item.Sphere, l.sq) {
+		if l.dominates(sk.Sphere, e.item.Sphere) {
 			l.stats.Pruned++
 			continue
 		}
-		if e.deferred {
+		if wasDeferred {
 			l.stats.Resurrected++
 		}
 		out = append(out, e.item)
 	}
 	return out
+}
+
+// entryLess orders entries by ascending MaxDist, ties by ID — the result
+// order of Definition 2 answers.
+func entryLess(a, b entry) bool {
+	if a.maxDist != b.maxDist {
+		return a.maxDist < b.maxDist
+	}
+	return a.item.ID < b.item.ID
+}
+
+// sortEntries sorts es by entryLess without allocating: insertion sort for
+// the short deferred lists of typical searches, in-place heapsort beyond
+// that so adversarial workloads cannot go quadratic.
+func sortEntries(es []entry) {
+	if len(es) <= 32 {
+		for i := 1; i < len(es); i++ {
+			e := es[i]
+			j := i - 1
+			for j >= 0 && entryLess(e, es[j]) {
+				es[j+1] = es[j]
+				j--
+			}
+			es[j+1] = e
+		}
+		return
+	}
+	siftEntries := func(root, end int) {
+		for {
+			c := 2*root + 1
+			if c >= end {
+				return
+			}
+			if c+1 < end && entryLess(es[c], es[c+1]) {
+				c++
+			}
+			if !entryLess(es[root], es[c]) {
+				return
+			}
+			es[root], es[c] = es[c], es[root]
+			root = c
+		}
+	}
+	for i := len(es)/2 - 1; i >= 0; i-- {
+		siftEntries(i, len(es))
+	}
+	for end := len(es) - 1; end > 0; end-- {
+		es[0], es[end] = es[end], es[0]
+		siftEntries(0, end)
+	}
 }

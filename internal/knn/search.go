@@ -1,9 +1,7 @@
 package knn
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
 
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/geom"
@@ -57,22 +55,50 @@ type IndexNode interface {
 }
 
 // Search answers the kNN query of Definition 2 over an index using the
-// given traversal strategy and dominance criterion.
+// given traversal strategy and dominance criterion. SS-tree indexes take a
+// concrete fast path that traverses sstree.Node cursors directly; other
+// indexes go through the IndexNode interface. Either way the traversal runs
+// out of a pooled scratch arena and performs no steady-state heap
+// allocation beyond the returned answer slice.
 func Search(idx Index, sq geom.Sphere, k int, crit dominance.Criterion, algo Algorithm) Result {
+	sc := getScratch()
+	defer putScratch(sc)
+	return sc.search(idx, sq, k, crit, algo)
+}
+
+func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Criterion, algo Algorithm) Result {
 	if k <= 0 {
 		panic(fmt.Sprintf("knn: k = %d", k))
 	}
 	res := Result{K: k}
+	sc.resetTraversal()
+	l := &sc.list
+	l.reset(sq, k, crit, &res.Stats)
+	if a, ok := idx.(ssAdapter); ok {
+		root, ok := a.t.Root()
+		if !ok {
+			return res
+		}
+		switch algo {
+		case DF:
+			sc.searchDFSS(root, sq, l)
+		case HS:
+			sc.searchHSSS(root, sq, l)
+		default:
+			panic(fmt.Sprintf("knn: unknown algorithm %d", int(algo)))
+		}
+		res.Items = l.finish()
+		return res
+	}
 	root, ok := idx.RootNode()
 	if !ok {
 		return res
 	}
-	l := &bestList{sq: sq, k: k, crit: crit, stats: &res.Stats}
 	switch algo {
 	case DF:
-		searchDF(root, sq, l)
+		sc.searchDF(root, sq, l)
 	case HS:
-		searchHS(root, sq, l)
+		sc.searchHS(root, sq, l)
 	default:
 		panic(fmt.Sprintf("knn: unknown algorithm %d", int(algo)))
 	}
@@ -82,8 +108,9 @@ func Search(idx Index, sq geom.Sphere, k int, crit dominance.Criterion, algo Alg
 
 // searchDF visits children in ascending MinDist order, pruning subtrees
 // whose MinDist to the query exceeds distk (every item below would fall to
-// Case 3).
-func searchDF(n IndexNode, sq geom.Sphere, l *bestList) {
+// Case 3). Child cursors and distance keys live in the scratch arena,
+// frame-stacked across recursion levels.
+func (sc *scratch) searchDF(n IndexNode, sq geom.Sphere, l *bestList) {
 	l.stats.NodesVisited++
 	if n.IsLeaf() {
 		for _, it := range n.NodeItems() {
@@ -91,83 +118,132 @@ func searchDF(n IndexNode, sq geom.Sphere, l *bestList) {
 		}
 		return
 	}
-	children := n.ChildNodes(nil)
-	dists := make([]float64, len(children))
-	order := make([]int, len(children))
-	for i, c := range children {
-		dists[i] = c.MinDistTo(sq)
-		order[i] = i
+	base := len(sc.stack)
+	sc.stack = n.ChildNodes(sc.stack)
+	nc := len(sc.stack) - base
+	sc.dists = growTo(sc.dists, base+nc)
+	for i := 0; i < nc; i++ {
+		sc.dists[base+i] = sc.stack[base+i].MinDistTo(sq)
 	}
-	sort.Slice(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
-	for _, i := range order {
-		if dists[i] > l.distK() {
+	sortByDist(sc.stack[base:base+nc], sc.dists[base:base+nc])
+	for i := 0; i < nc; i++ {
+		if sc.dists[base+i] > l.distK() {
 			// Every deeper item has MinDist ≥ this bound: Case 3 territory.
 			break
 		}
-		searchDF(children[i], sq, l)
+		sc.searchDF(sc.stack[base+i], sq, l)
 	}
+	clear(sc.stack[base : base+nc]) // drop node refs before the frame pops
+	sc.stack = sc.stack[:base]
+	sc.dists = sc.dists[:base]
 }
 
-// nodeHeap is a min-heap of index nodes keyed by MinDist to the query.
+// growTo extends s to length n, reusing capacity.
+func growTo(s []float64, n int) []float64 {
+	if cap(s) < n {
+		ns := make([]float64, n, 2*n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}
+
+// nodeHeap is a hand-rolled min-heap of index nodes keyed by MinDist to the
+// query. It deliberately does not implement container/heap: the standard
+// interface forces every pushed entry through an `any` box, which allocated
+// on each node visit.
 type nodeHeap struct {
 	nodes []IndexNode
 	dists []float64
 }
 
-func (h *nodeHeap) Len() int           { return len(h.nodes) }
-func (h *nodeHeap) Less(i, j int) bool { return h.dists[i] < h.dists[j] }
-func (h *nodeHeap) Swap(i, j int) {
-	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
-	h.dists[i], h.dists[j] = h.dists[j], h.dists[i]
-}
-func (h *nodeHeap) Push(x any) {
-	e := x.(heapEntry)
-	h.nodes = append(h.nodes, e.node)
-	h.dists = append(h.dists, e.dist)
-}
-func (h *nodeHeap) Pop() any {
-	n := len(h.nodes) - 1
-	e := heapEntry{h.nodes[n], h.dists[n]}
-	h.nodes = h.nodes[:n]
-	h.dists = h.dists[:n]
-	return e
+func (h *nodeHeap) len() int { return len(h.nodes) }
+
+func (h *nodeHeap) push(n IndexNode, d float64) {
+	h.nodes = append(h.nodes, n)
+	h.dists = append(h.dists, d)
+	i := len(h.nodes) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.dists[p] <= h.dists[i] {
+			break
+		}
+		h.nodes[p], h.nodes[i] = h.nodes[i], h.nodes[p]
+		h.dists[p], h.dists[i] = h.dists[i], h.dists[p]
+		i = p
+	}
 }
 
-type heapEntry struct {
-	node IndexNode
-	dist float64
+// pop removes and returns the nearest node. The vacated slot is nilled
+// before the slice shrinks: the backing array survives in the scratch pool,
+// and a live reference there would retain an entire abandoned index during
+// deep traversals.
+func (h *nodeHeap) pop() (IndexNode, float64) {
+	n, d := h.nodes[0], h.dists[0]
+	last := len(h.nodes) - 1
+	h.nodes[0], h.dists[0] = h.nodes[last], h.dists[last]
+	h.nodes[last] = nil
+	h.nodes = h.nodes[:last]
+	h.dists = h.dists[:last]
+	h.siftDown(0)
+	return n, d
+}
+
+func (h *nodeHeap) siftDown(i int) {
+	for {
+		c := 2*i + 1
+		if c >= len(h.nodes) {
+			return
+		}
+		if c+1 < len(h.nodes) && h.dists[c+1] < h.dists[c] {
+			c++
+		}
+		if h.dists[i] <= h.dists[c] {
+			return
+		}
+		h.nodes[i], h.nodes[c] = h.nodes[c], h.nodes[i]
+		h.dists[i], h.dists[c] = h.dists[c], h.dists[i]
+		i = c
+	}
 }
 
 // searchHS pops nodes in globally ascending MinDist order; once the nearest
 // unexplored node is beyond distk the traversal is complete, because distk
 // never increases.
-func searchHS(root IndexNode, sq geom.Sphere, l *bestList) {
-	h := &nodeHeap{}
-	heap.Push(h, heapEntry{root, root.MinDistTo(sq)})
-	var scratch []IndexNode
-	for h.Len() > 0 {
-		e := heap.Pop(h).(heapEntry)
-		if e.dist > l.distK() {
+func (sc *scratch) searchHS(root IndexNode, sq geom.Sphere, l *bestList) {
+	h := &sc.heap
+	h.push(root, root.MinDistTo(sq))
+	for h.len() > 0 {
+		n, dist := h.pop()
+		if dist > l.distK() {
 			return
 		}
 		l.stats.NodesVisited++
-		if e.node.IsLeaf() {
-			for _, it := range e.node.NodeItems() {
+		if n.IsLeaf() {
+			for _, it := range n.NodeItems() {
 				l.offer(it)
 			}
 			continue
 		}
-		scratch = e.node.ChildNodes(scratch[:0])
-		for _, c := range scratch {
-			d := c.MinDistTo(sq)
-			if d <= l.distK() {
-				heap.Push(h, heapEntry{c, d})
+		base := len(sc.stack)
+		sc.stack = n.ChildNodes(sc.stack)
+		// Invariant: distk cannot change inside this loop — it only shrinks
+		// when an item is offered to the list, and expanding an internal
+		// node only pushes child nodes. Hoisting the bound out of the loop
+		// saves a distK() call per child.
+		dk := l.distK()
+		for _, c := range sc.stack[base:] {
+			if d := c.MinDistTo(sq); d <= dk {
+				h.push(c, d)
 			}
 		}
+		clear(sc.stack[base:])
+		sc.stack = sc.stack[:base]
 	}
 }
 
-// ssAdapter adapts an SS-tree to the Index interface.
+// ssAdapter adapts an SS-tree to the Index interface. Searches recognise it
+// and traverse the tree's concrete cursors directly.
 type ssAdapter struct{ t *sstree.Tree }
 
 // WrapSSTree adapts an SS-tree for Search.
@@ -187,8 +263,119 @@ func (n ssNode) IsLeaf() bool                    { return n.n.IsLeaf() }
 func (n ssNode) MinDistTo(q geom.Sphere) float64 { return geom.MinDist(n.n.Sphere(), q) }
 func (n ssNode) NodeItems() []Item               { return n.n.Items() }
 func (n ssNode) ChildNodes(dst []IndexNode) []IndexNode {
-	for _, c := range n.n.Children() {
-		dst = append(dst, ssNode{c})
+	for i, m := 0, n.n.NumChildren(); i < m; i++ {
+		dst = append(dst, ssNode{n.n.Child(i)})
 	}
 	return dst
+}
+
+// searchDFSS is searchDF over concrete sstree.Node cursors: no IndexNode
+// boxing, no interface dispatch on the MinDist hot call.
+func (sc *scratch) searchDFSS(n sstree.Node, sq geom.Sphere, l *bestList) {
+	l.stats.NodesVisited++
+	if n.IsLeaf() {
+		for _, it := range n.Items() {
+			l.offer(it)
+		}
+		return
+	}
+	base := len(sc.ssStack)
+	nc := n.NumChildren()
+	for i := 0; i < nc; i++ {
+		c := n.Child(i)
+		sc.ssStack = append(sc.ssStack, c)
+		sc.ssDists = append(sc.ssDists, geom.MinDist(c.Sphere(), sq))
+	}
+	sortByDist(sc.ssStack[base:base+nc], sc.ssDists[base:base+nc])
+	for i := 0; i < nc; i++ {
+		if sc.ssDists[base+i] > l.distK() {
+			break
+		}
+		sc.searchDFSS(sc.ssStack[base+i], sq, l)
+	}
+	clear(sc.ssStack[base : base+nc])
+	sc.ssStack = sc.ssStack[:base]
+	sc.ssDists = sc.ssDists[:base]
+}
+
+// ssHeap is nodeHeap over concrete SS-tree cursors.
+type ssHeap struct {
+	nodes []sstree.Node
+	dists []float64
+}
+
+func (h *ssHeap) len() int { return len(h.nodes) }
+
+func (h *ssHeap) push(n sstree.Node, d float64) {
+	h.nodes = append(h.nodes, n)
+	h.dists = append(h.dists, d)
+	i := len(h.nodes) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.dists[p] <= h.dists[i] {
+			break
+		}
+		h.nodes[p], h.nodes[i] = h.nodes[i], h.nodes[p]
+		h.dists[p], h.dists[i] = h.dists[i], h.dists[p]
+		i = p
+	}
+}
+
+func (h *ssHeap) pop() (sstree.Node, float64) {
+	n, d := h.nodes[0], h.dists[0]
+	last := len(h.nodes) - 1
+	h.nodes[0], h.dists[0] = h.nodes[last], h.dists[last]
+	h.nodes[last] = sstree.Node{} // release the cursor's tree reference
+	h.nodes = h.nodes[:last]
+	h.dists = h.dists[:last]
+	h.siftDown(0)
+	return n, d
+}
+
+func (h *ssHeap) siftDown(i int) {
+	for {
+		c := 2*i + 1
+		if c >= len(h.nodes) {
+			return
+		}
+		if c+1 < len(h.nodes) && h.dists[c+1] < h.dists[c] {
+			c++
+		}
+		if h.dists[i] <= h.dists[c] {
+			return
+		}
+		h.nodes[i], h.nodes[c] = h.nodes[c], h.nodes[i]
+		h.dists[i], h.dists[c] = h.dists[c], h.dists[i]
+		i = c
+	}
+}
+
+// searchHSSS is searchHS over concrete sstree.Node cursors. Children are
+// scored and pushed straight from the node — no intermediate child slice at
+// all.
+func (sc *scratch) searchHSSS(root sstree.Node, sq geom.Sphere, l *bestList) {
+	h := &sc.ssHeap
+	h.push(root, geom.MinDist(root.Sphere(), sq))
+	for h.len() > 0 {
+		n, dist := h.pop()
+		if dist > l.distK() {
+			return
+		}
+		l.stats.NodesVisited++
+		if n.IsLeaf() {
+			for _, it := range n.Items() {
+				l.offer(it)
+			}
+			continue
+		}
+		// Invariant: distk cannot change inside this loop — it only shrinks
+		// when an item is offered, and this loop only pushes child nodes.
+		dk := l.distK()
+		for i, m := 0, n.NumChildren(); i < m; i++ {
+			c := n.Child(i)
+			if d := geom.MinDist(c.Sphere(), sq); d <= dk {
+				h.push(c, d)
+			}
+		}
+	}
 }

@@ -42,6 +42,13 @@ func (n Node) Children() []Node {
 	return out
 }
 
+// NumChildren returns the number of children. Only valid on internal nodes.
+func (n Node) NumChildren() int { return len(n.n.children) }
+
+// Child returns a cursor to the i-th child without allocating (unlike
+// Children, which builds a fresh slice). Only valid on internal nodes.
+func (n Node) Child(i int) Node { return Node{n.n.children[i]} }
+
 // Items returns the node's items. Only valid on leaves. The returned slice
 // is the node's own; callers must not modify it.
 func (n Node) Items() []Item { return n.n.items }

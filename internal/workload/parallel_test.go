@@ -30,3 +30,47 @@ func TestVerdictsParallelEmpty(t *testing.T) {
 		t.Errorf("empty workload returned %d verdicts", len(got))
 	}
 }
+
+// TestVerdictsParallelRepeatedPairs drives the prepared-pair amortization:
+// a workload where each (A, B) pair recurs with many different queries must
+// still produce verdicts identical to the serial per-triple path, in the
+// caller's original order.
+func TestVerdictsParallelRepeatedPairs(t *testing.T) {
+	ps := dataset.SyntheticCenters(50, 3, dataset.Gaussian, 4)
+	items := dataset.Spheres(ps, dataset.GaussianRadii(20), 5)
+	base := Dominance(items, 200, 6)
+	// 30 queries per pair, interleaved so groups are scattered before the
+	// kernel's sort makes them adjacent.
+	var w []Triple
+	for q := 0; q < 30; q++ {
+		for _, tr := range base[:40] {
+			w = append(w, Triple{A: tr.A, B: tr.B, Q: base[q].Q})
+		}
+	}
+	want := Verdicts(dominance.Hyperbola{}, w)
+	for _, workers := range []int{1, 3, 16} {
+		got := VerdictsParallel(dominance.Hyperbola{}, w, workers)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: verdict %d differs from serial", workers, i)
+			}
+		}
+	}
+}
+
+// TestVerdictsParallelNonHyperbola keeps the generic criterion path honest:
+// it must match the serial evaluator too.
+func TestVerdictsParallelNonHyperbola(t *testing.T) {
+	ps := dataset.SyntheticCenters(100, 3, dataset.Gaussian, 7)
+	items := dataset.Spheres(ps, dataset.GaussianRadii(20), 8)
+	w := Dominance(items, 2000, 9)
+	for _, crit := range []dominance.Criterion{dominance.MinMax{}, dominance.MBR{}} {
+		want := Verdicts(crit, w)
+		got := VerdictsParallel(crit, w, 4)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: verdict %d differs from serial", crit.Name(), i)
+			}
+		}
+	}
+}
