@@ -9,10 +9,12 @@ all: build check
 build:
 	$(GO) build ./...
 
-# Static analysis plus the full suite under the race detector — the gate a
-# change must pass before it ships.
+# Static analysis, formatting and the full suite under the race detector —
+# the gate a change must pass before it ships.
 check:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test -race ./...
 
 test:

@@ -5,11 +5,18 @@
 //     PreparedPair on one fixed (Sa, Sb) at d=10, for point queries (the
 //     certain-query pruning case) and fat sphere queries;
 //   - the DF and HS kNN traversals over a 10k-item SS-tree, with their
-//     steady-state allocations per search.
+//     steady-state allocations per search;
+//   - a metrics block captured from the obs counter registry: prune rates,
+//     dominance checks and nodes visited per query, heap traffic.
+//
+// Timing benchmarks run with the obs counters disabled so ns/op stays
+// comparable across PRs; the metrics block comes from a separate
+// counter-enabled pass over a fixed workload.
 //
 // Usage:
 //
 //	benchkernel [-o BENCH_knn.json]
+//	benchkernel -gate BENCH_knn.json -min-speedup 1.3   # CI sanity gate
 package main
 
 import (
@@ -18,11 +25,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"testing"
 
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/geom"
 	"hyperdom/internal/knn"
+	"hyperdom/internal/obs"
 	"hyperdom/internal/sstree"
 )
 
@@ -32,6 +41,21 @@ type kernelBench struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// metricsBlock summarizes the obs counter registry over a fixed
+// counter-enabled workload: MetricsSearches kNN searches (HS) plus one
+// prepared point-query sweep. Counters holds the raw snapshot diff; the
+// derived ratios are what reviews and the CI gate read.
+type metricsBlock struct {
+	Searches           int               `json:"searches"`
+	Counters           map[string]uint64 `json:"counters"`
+	DomChecksPerQuery  float64           `json:"dom_checks_per_query"`
+	NodesPerQuery      float64           `json:"nodes_per_query"`
+	ItemsPerQuery      float64           `json:"items_scanned_per_query"`
+	PruneRate          float64           `json:"prune_rate"`
+	HeapPushesPerQuery float64           `json:"heap_pushes_per_query"`
+	PreparedReuseRate  float64           `json:"prepared_reuse_rate"`
 }
 
 // report is the schema of BENCH_knn.json.
@@ -46,13 +70,74 @@ type report struct {
 	KnnAllocsDF      int64         `json:"knn_allocs_per_search_df"`
 	KnnAllocsHS      int64         `json:"knn_allocs_per_search_hs"`
 	SpeedupTargetMet bool          `json:"speedup_target_met"` // point-query ratio >= 1.5
+	Metrics          metricsBlock  `json:"metrics"`
+}
+
+// config holds the parsed command line.
+type config struct {
+	Out        string
+	Gate       string
+	MinSpeedup float64
+	Profile    *obs.ProfileFlags
+}
+
+// parseFlags parses args (not including the program name) into a config.
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("benchkernel", flag.ContinueOnError)
+	cfg := &config{}
+	fs.StringVar(&cfg.Out, "o", "BENCH_knn.json", "output file")
+	fs.StringVar(&cfg.Gate, "gate", "", "committed BENCH_knn.json to gate against (CI mode; exits non-zero on regression)")
+	fs.Float64Var(&cfg.MinSpeedup, "min-speedup", 1.3, "minimum prepared point-query speedup the gate accepts")
+	cfg.Profile = obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return cfg, nil
 }
 
 func main() {
-	out := flag.String("o", "BENCH_knn.json", "output file")
-	flag.Parse()
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	stop, err := cfg.Profile.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernel:", err)
+		os.Exit(1)
+	}
 
+	rep := buildReport()
+
+	if err := writeReport(cfg.Out, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernel:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (prepared point-query speedup %.2fx, sphere-query %.2fx; knn allocs/search DF=%d HS=%d; prune rate %.2f)\n",
+		cfg.Out, rep.SpeedupPointQ, rep.SpeedupSphereQ, rep.KnnAllocsDF, rep.KnnAllocsHS, rep.Metrics.PruneRate)
+	stop()
+
+	if cfg.Gate != "" {
+		committed, err := readReport(cfg.Gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchkernel: gate:", err)
+			os.Exit(1)
+		}
+		if failures := gateReport(rep, committed, cfg.MinSpeedup); len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "benchkernel: gate FAILED:\n  %s\n", strings.Join(failures, "\n  "))
+			os.Exit(1)
+		}
+		fmt.Println("gate passed")
+	}
+}
+
+// buildReport runs all benchmarks and the metrics pass. Timing runs with
+// counters off; the metrics pass re-enables them and diffs the registry.
+func buildReport() report {
 	rep := report{Dim: 10, Queries: 512, KnnTreeItems: 10000, KnnK: 10}
+
+	wasOn := obs.On()
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(wasOn)
 
 	sa, sb, points, spheres := pairWorkload(rand.New(rand.NewSource(123)), rep.Dim, rep.Queries)
 
@@ -108,18 +193,93 @@ func main() {
 		}
 	}
 
+	rep.Metrics = captureMetrics(idx, queries, rep.KnnK, sa, sb, points)
+	return rep
+}
+
+// captureMetrics runs the fixed metrics workload with counters enabled and
+// reduces the registry diff to the per-query ratios the report carries.
+func captureMetrics(idx knn.Index, queries []geom.Sphere, k int, sa, sb geom.Sphere, points []geom.Sphere) metricsBlock {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+
+	const rounds = 4
+	before := obs.Snapshot()
+	for r := 0; r < rounds; r++ {
+		for _, q := range queries {
+			knn.Search(idx, q, k, dominance.Hyperbola{}, knn.HS)
+		}
+	}
+	// Snapshot between the traversal rounds and the point sweep: the kNN
+	// path legitimately re-prepares on every check (the pair changes each
+	// time), so the reuse rate is only meaningful over the sweep, where
+	// one pair serves the whole query batch.
+	preSweep := obs.Snapshot()
+	pp := dominance.PreparePair(sa, sb)
+	for _, q := range points {
+		sink(pp.Dominates(q))
+	}
+	pp.FlushObs()
+	after := obs.Snapshot()
+	diff := after.Diff(before)
+	sweep := after.Diff(preSweep)
+
+	searches := rounds * len(queries)
+	m := metricsBlock{Searches: searches, Counters: diff}
+	n := float64(searches)
+	m.DomChecksPerQuery = float64(diff.Get("knn.dom_checks")) / n
+	m.NodesPerQuery = float64(diff.Get("knn.nodes_visited")) / n
+	m.ItemsPerQuery = float64(diff.Get("knn.items_scanned")) / n
+	m.HeapPushesPerQuery = float64(diff.Get("knn.heap_pushes")) / n
+	// Prune events per scanned item. Slightly above 1 is possible: a
+	// deferred candidate counts again when the final filter re-prunes it.
+	if scanned := diff.Get("knn.items_scanned"); scanned > 0 {
+		m.PruneRate = float64(diff.Get("knn.pruned")) / float64(scanned)
+	}
+	if q := sweep.Get("dominance.prepared.queries"); q > 0 {
+		m.PreparedReuseRate = float64(sweep.Get("dominance.prepared.reuse_hits")) / float64(q)
+	}
+	return m
+}
+
+// gateReport compares a fresh report against the committed one and returns
+// the list of regressions; empty means the gate passes. Timing is checked
+// only through the prepared-pair speedup ratio (dimensionless, so stable
+// across machines of different speed); allocations are exact counts.
+func gateReport(current, committed report, minSpeedup float64) []string {
+	var failures []string
+	if current.SpeedupPointQ < minSpeedup {
+		failures = append(failures, fmt.Sprintf(
+			"prepared point-query speedup %.2fx below floor %.2fx", current.SpeedupPointQ, minSpeedup))
+	}
+	if current.KnnAllocsDF > committed.KnnAllocsDF {
+		failures = append(failures, fmt.Sprintf(
+			"DF search allocs/op %d exceeds committed %d", current.KnnAllocsDF, committed.KnnAllocsDF))
+	}
+	if current.KnnAllocsHS > committed.KnnAllocsHS {
+		failures = append(failures, fmt.Sprintf(
+			"HS search allocs/op %d exceeds committed %d", current.KnnAllocsHS, committed.KnnAllocsHS))
+	}
+	return failures
+}
+
+func writeReport(path string, rep report) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchkernel:", err)
-		os.Exit(1)
+		return err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchkernel:", err)
-		os.Exit(1)
+	return os.WriteFile(path, data, 0o644)
+}
+
+func readReport(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
 	}
-	fmt.Printf("wrote %s (prepared point-query speedup %.2fx, sphere-query %.2fx; knn allocs/search DF=%d HS=%d)\n",
-		*out, rep.SpeedupPointQ, rep.SpeedupSphereQ, rep.KnnAllocsDF, rep.KnnAllocsHS)
+	err = json.Unmarshal(data, &rep)
+	return rep, err
 }
 
 // run executes one testing.Benchmark, appends the row to the report and

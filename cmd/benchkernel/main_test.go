@@ -1,0 +1,152 @@
+package main
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/knn"
+	"hyperdom/internal/obs"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Out != "BENCH_knn.json" {
+		t.Errorf("Out = %q, want BENCH_knn.json", cfg.Out)
+	}
+	if cfg.Gate != "" {
+		t.Errorf("Gate = %q, want empty", cfg.Gate)
+	}
+	if cfg.MinSpeedup != 1.3 {
+		t.Errorf("MinSpeedup = %v, want 1.3", cfg.MinSpeedup)
+	}
+	if cfg.Profile == nil || cfg.Profile.Wanted() {
+		t.Errorf("Profile = %+v, want registered and idle", cfg.Profile)
+	}
+}
+
+func TestParseFlagsAll(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-o", "out.json", "-gate", "committed.json", "-min-speedup", "2.5",
+		"-cpuprofile", "cpu.out", "-memprofile", "mem.out", "-pprof", "localhost:0", "-metrics",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Out != "out.json" || cfg.Gate != "committed.json" || cfg.MinSpeedup != 2.5 {
+		t.Errorf("parsed config = %+v", cfg)
+	}
+	if !cfg.Profile.Wanted() || cfg.Profile.CPUProfile != "cpu.out" || !cfg.Profile.Metrics {
+		t.Errorf("profile flags = %+v", cfg.Profile)
+	}
+}
+
+func TestParseFlagsBad(t *testing.T) {
+	if _, err := parseFlags([]string{"-min-speedup", "not-a-number"}); err == nil {
+		t.Error("bad flag value accepted")
+	}
+}
+
+// TestReportRoundTrip pins the BENCH_knn.json schema, metrics block
+// included: what writeReport emits, readReport must reproduce exactly.
+func TestReportRoundTrip(t *testing.T) {
+	rep := report{
+		Dim:     10,
+		Queries: 512,
+		Benchmarks: []kernelBench{
+			{Name: "PreparedPair/PointQuery/Prepared", NsPerOp: 31.5, AllocsPerOp: 0, BytesPerOp: 0},
+			{Name: "Search/SS10k/HS", NsPerOp: 120000, AllocsPerOp: 2, BytesPerOp: 400},
+		},
+		SpeedupPointQ:    1.91,
+		SpeedupSphereQ:   1.33,
+		KnnTreeItems:     10000,
+		KnnK:             10,
+		KnnAllocsDF:      2,
+		KnnAllocsHS:      2,
+		SpeedupTargetMet: true,
+		Metrics: metricsBlock{
+			Searches: 64,
+			Counters: map[string]uint64{
+				"knn.searches":      64,
+				"knn.nodes_visited": 4096,
+				"knn.dom_checks":    20000,
+			},
+			DomChecksPerQuery:  312.5,
+			NodesPerQuery:      64,
+			ItemsPerQuery:      500,
+			PruneRate:          0.93,
+			HeapPushesPerQuery: 70,
+			PreparedReuseRate:  0.99,
+		},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, rep)
+	}
+}
+
+func TestReadReportMissing(t *testing.T) {
+	if _, err := readReport(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestGateReport(t *testing.T) {
+	committed := report{KnnAllocsDF: 2, KnnAllocsHS: 2}
+	ok := report{SpeedupPointQ: 1.9, KnnAllocsDF: 2, KnnAllocsHS: 1}
+	if failures := gateReport(ok, committed, 1.3); len(failures) != 0 {
+		t.Errorf("clean report failed the gate: %v", failures)
+	}
+	bad := report{SpeedupPointQ: 1.1, KnnAllocsDF: 3, KnnAllocsHS: 5}
+	failures := gateReport(bad, committed, 1.3)
+	if len(failures) != 3 {
+		t.Errorf("regressed report produced %d failures, want 3: %v", len(failures), failures)
+	}
+}
+
+// TestCaptureMetrics runs the real metrics pass on a scaled-down fixture
+// and checks the derived ratios are present and internally consistent.
+func TestCaptureMetrics(t *testing.T) {
+	defer obs.SetEnabled(true)
+	obs.SetEnabled(false) // captureMetrics enables the gate itself
+
+	idx, queries := knnFixture(1500, 6)
+	sa, sb, points, _ := pairWorkload(rand.New(rand.NewSource(42)), 6, 64)
+	m := captureMetrics(idx, queries, 5, sa, sb, points)
+
+	if want := 4 * len(queries); m.Searches != want {
+		t.Errorf("Searches = %d, want %d", m.Searches, want)
+	}
+	if got := m.Counters["knn.searches"]; got != uint64(m.Searches) {
+		t.Errorf("counters[knn.searches] = %d, want %d", got, m.Searches)
+	}
+	if m.NodesPerQuery <= 0 || m.DomChecksPerQuery <= 0 || m.HeapPushesPerQuery <= 0 {
+		t.Errorf("derived ratios missing: %+v", m)
+	}
+	// Prune events per scanned item; re-prunes of deferred candidates can
+	// push it marginally above 1, but 2 would mean double counting.
+	if m.PruneRate <= 0 || m.PruneRate >= 2 {
+		t.Errorf("PruneRate = %v outside (0,2)", m.PruneRate)
+	}
+	if m.PreparedReuseRate <= 0 || m.PreparedReuseRate > 1 {
+		t.Errorf("PreparedReuseRate = %v outside (0,1]", m.PreparedReuseRate)
+	}
+	if obs.On() {
+		t.Error("captureMetrics left the counter gate enabled")
+	}
+	// Sanity against one live search with counters off: captureMetrics
+	// must not leak tallies into later searches.
+	knn.Search(idx, queries[0], 5, dominance.Hyperbola{}, knn.HS)
+}

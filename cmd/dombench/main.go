@@ -25,6 +25,7 @@ import (
 
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/experiments"
+	"hyperdom/internal/obs"
 	"hyperdom/internal/stats"
 	"hyperdom/internal/workload"
 
@@ -38,7 +39,20 @@ func main() {
 	timing := flag.Duration("timing", 50*time.Millisecond, "per-criterion timing budget")
 	dataFile := flag.String("data", "", "CSV file of spheres to run the comparison on")
 	queries := flag.Int("queries", 10000, "-data only: dominance queries to draw")
+	pf := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	// Figure timings must stay comparable to the paper's, so the counter
+	// gate stays off unless observability output was actually asked for.
+	if !pf.Wanted() {
+		obs.SetEnabled(false)
+	}
+	stop, err := pf.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dombench: %v\n", err)
+		os.Exit(2)
+	}
+	defer stop()
 
 	if *dataFile != "" {
 		if err := runOnFile(*dataFile, *queries, *seed, *timing); err != nil {

@@ -19,13 +19,27 @@ import (
 	"os"
 
 	"hyperdom/internal/experiments"
+	"hyperdom/internal/obs"
 )
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to run (13-16, 0 = all)")
 	scale := flag.Float64("scale", 0.02, "workload scale relative to the paper")
 	seed := flag.Int64("seed", 1, "random seed")
+	pf := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	// Figure timings must stay comparable to the paper's, so the counter
+	// gate stays off unless observability output was actually asked for.
+	if !pf.Wanted() {
+		obs.SetEnabled(false)
+	}
+	stop, err := pf.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "knnbench: %v\n", err)
+		os.Exit(2)
+	}
+	defer stop()
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
 	if *fig == 17 {

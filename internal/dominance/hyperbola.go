@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"hyperdom/internal/geom"
+	"hyperdom/internal/obs"
 	"hyperdom/internal/poly"
 )
 
@@ -34,17 +35,39 @@ func (Hyperbola) Sound() bool { return true }
 // Dominates implements Criterion in O(d) time (Theorem 2).
 func (Hyperbola) Dominates(sa, sb, sq geom.Sphere) bool {
 	checkDims(sa, sb, sq)
+	on := obs.On()
+	if on {
+		obsHypInvocations.Inc()
+	}
 	red, ok := reduce(sa, sb, sq)
 	if !ok { // Sa and Sb overlap: Dom is false (Lemma 1).
+		if on {
+			obsHypOverlap.Inc()
+			obsHypFalse.Inc()
+		}
 		return false
 	}
 	if !red.inside { // cq ∈ Sq itself violates the MDD condition.
+		if on {
+			obsHypFalse.Inc()
+		}
 		return false
 	}
 	if sq.Radius == 0 { // cq strictly inside Ra and Sq = {cq}.
+		if on {
+			obsHypTrue.Inc()
+		}
 		return true
 	}
-	return hyperbolaDmin(red) > sq.Radius
+	v := hyperbolaDmin(red) > sq.Radius
+	if on {
+		if v {
+			obsHypTrue.Inc()
+		} else {
+			obsHypFalse.Inc()
+		}
+	}
+	return v
 }
 
 // reduced is the canonical 2-D form of a dominance instance: coordinates are
@@ -178,6 +201,9 @@ func hyperbolaDmin(red reduced) float64 {
 	// ordinate; spurious roots introduced by squaring land on the curve via
 	// the projection in distToY and can only overestimate, never
 	// underestimate, their own candidate distance.
+	if obs.On() {
+		obsQuarticSolves.Inc()
+	}
 	hatA2 := (hA / alpha) * (hA / alpha)
 	hatB2 := b2 / (alpha * alpha)
 	P1 := p1 / alpha

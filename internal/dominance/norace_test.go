@@ -1,0 +1,7 @@
+//go:build !race
+
+package dominance
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation distorts timing and allocation measurements.
+const raceEnabled = false

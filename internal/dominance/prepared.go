@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"hyperdom/internal/geom"
+	"hyperdom/internal/obs"
 	"hyperdom/internal/poly"
 )
 
@@ -51,6 +52,14 @@ type PreparedPair struct {
 	c3     float64 // −2·hatB2          (q3 = c3·P2)
 	c1     float64 // −2·hatB2·hatB2    (q1 = c1·P2)
 	c0     float64 // hatB2³            (q0 = c0·P2·P2)
+
+	// Observability (see metrics.go). obsOn caches the obs gate at Reset
+	// time so the per-query check is a plain byte load; tally accumulates
+	// events locally and survives Reset; fresh marks that no query has run
+	// since the last Reset (for reuse-hit accounting).
+	obsOn bool
+	fresh bool
+	tally pairTally
 }
 
 // PreparePair factors the (Sa, Sb)-only part of the Hyperbola criterion in
@@ -75,7 +84,11 @@ func (p *PreparedPair) Reset(sa, sb geom.Sphere) {
 		dcc2 += e * e
 	}
 	rab := sa.Radius + sb.Radius
-	*p = PreparedPair{ca: ca, cb: cb, dim: d, rab: rab}
+	*p = PreparedPair{ca: ca, cb: cb, dim: d, rab: rab,
+		obsOn: obs.On(), fresh: true, tally: p.tally}
+	if p.obsOn {
+		p.tally.resets++
+	}
 	if dcc2 <= rab*rab {
 		p.overlap = true
 		return
@@ -112,7 +125,15 @@ func (p *PreparedPair) Dominates(sq geom.Sphere) bool {
 	if sq.Dim() != p.dim {
 		panic("dominance: spheres with mixed dimensionality")
 	}
+	on := p.obsOn
+	if on {
+		p.tallyQuery()
+	}
 	if p.overlap {
+		if on {
+			p.tally.overlaps++
+			p.tally.falses++
+		}
 		return false
 	}
 	ca, cb, cq := p.ca, p.cb, sq.Center
@@ -126,9 +147,15 @@ func (p *PreparedPair) Dominates(sq geom.Sphere) bool {
 	da := math.Sqrt(da2)
 	db := math.Sqrt(db2)
 	if !(db-da > p.rab) { // cq not strictly inside Ra: MDD violated
+		if on {
+			p.tally.falses++
+		}
 		return false
 	}
 	if sq.Radius == 0 { // cq strictly inside Ra and Sq = {cq}
+		if on {
+			p.tally.trues++
+		}
 		return true
 	}
 	// Canonical coordinates of cq, exactly as reduce computes them.
@@ -138,7 +165,15 @@ func (p *PreparedPair) Dominates(sq geom.Sphere) bool {
 		p22 = 0
 	}
 	p2 := math.Sqrt(p22)
-	return p.dmin(p1, p2) > sq.Radius
+	v := p.dmin(p1, p2) > sq.Radius
+	if on {
+		if v {
+			p.tally.trues++
+		} else {
+			p.tally.falses++
+		}
+	}
+	return v
 }
 
 // dmin mirrors hyperbolaDmin with the (Sa, Sb)-only scalars precomputed;
@@ -177,6 +212,9 @@ func (p *PreparedPair) dmin(p1, p2 float64) float64 {
 		}
 	}
 
+	if p.obsOn {
+		p.tally.quartics++
+	}
 	P1 := p1 / p.alpha
 	P2 := p2 / p.alpha
 	q3 := p.c3 * P2

@@ -135,10 +135,10 @@ func TestPreparedPairDominatesAllocFree(t *testing.T) {
 // their arithmetic, so any disagreement is a real bug in the factoring.
 func FuzzPreparedPairAgree(f *testing.F) {
 	f.Add(0.0, 0.0, 0.0, 1.0, 9.0, 0.0, 0.0, 1.0, -4.0, 0.0, 0.0, 2.0)
-	f.Add(0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, -3.0, 0.0, 0.0, 3.0)  // rab = 0
-	f.Add(-5.0, 0.0, 0.0, 1.0, 5.0, 0.0, 0.0, 2.0, 0.0, 7.0, 0.0, 1.0)  // p1 = 0 (bisector)
+	f.Add(0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, -3.0, 0.0, 0.0, 3.0)   // rab = 0
+	f.Add(-5.0, 0.0, 0.0, 1.0, 5.0, 0.0, 0.0, 2.0, 0.0, 7.0, 0.0, 1.0)   // p1 = 0 (bisector)
 	f.Add(-5.0, 0.0, 0.0, 1.0, 5.0, 0.0, 0.0, 2.0, -20.0, 0.0, 0.0, 0.0) // p2 = 0 (on-axis)
-	f.Add(0.0, 0.0, 0.0, 2.0, 3.0, 0.0, 0.0, 2.0, 10.0, 10.0, 0.0, 1.0) // overlap
+	f.Add(0.0, 0.0, 0.0, 2.0, 3.0, 0.0, 0.0, 2.0, 10.0, 10.0, 0.0, 1.0)  // overlap
 	f.Add(1e6, 1e6, 0.0, 1.0, 1e6+9, 1e6, 0.0, 1.0, 1e6-4, 1e6, 0.0, 2.0)
 	f.Fuzz(func(t *testing.T, ax, ay, az, ar, bx, by, bz, br, qx, qy, qz, qr float64) {
 		for _, v := range []float64{ax, ay, az, ar, bx, by, bz, br, qx, qy, qz, qr} {

@@ -6,6 +6,7 @@ import (
 
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/geom"
+	"hyperdom/internal/obs"
 )
 
 // SearchBatch answers many kNN queries over one index with a pool of
@@ -23,6 +24,10 @@ func SearchBatch(idx Index, queries []geom.Sphere, k int, crit dominance.Criteri
 		workers = len(queries)
 	}
 	out := make([]Result, len(queries))
+	if obs.On() {
+		obsBatches.Inc()
+		obsBatchQueries.Add(uint64(len(queries)))
+	}
 	if len(queries) == 0 {
 		return out
 	}

@@ -29,6 +29,7 @@ import (
 
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/geom"
+	"hyperdom/internal/obs"
 )
 
 // Item is the indexed unit, shared with the index packages.
@@ -76,6 +77,12 @@ func BruteForce(items []Item, sq geom.Sphere, k int, crit dominance.Criterion) R
 	}
 	res := Result{K: k}
 	res.Stats.Items = len(items)
+	defer func() {
+		if obs.On() {
+			obsBruteSearches.Inc()
+			flushStats(&res.Stats)
+		}
+	}()
 	if len(items) == 0 {
 		return res
 	}
@@ -135,6 +142,12 @@ type bestList struct {
 	entries  []entry
 	deferred []entry
 	stats    *Stats
+
+	// Scratch-local observability tallies: finish() merge passes that had
+	// deferred candidates to fold back in, and how many. Drained per
+	// search by scratch.flushObs.
+	deferMerges uint64
+	deferItems  uint64
 }
 
 type entry struct {
@@ -260,6 +273,10 @@ func (l *bestList) finish() []Item {
 		return out
 	}
 	sk := l.sk()
+	if len(l.deferred) > 0 {
+		l.deferMerges++
+		l.deferItems += uint64(len(l.deferred))
+	}
 	// The live list is already ordered by (MaxDist, ID) — add() maintains
 	// that invariant — so sorting the deferred candidates in place and
 	// merging the two runs replaces the old gather-into-one-slice +

@@ -1,0 +1,94 @@
+package knn
+
+import "hyperdom/internal/obs"
+
+// Traversal-level observability counters (ISSUE 2). The per-query figures
+// (node visits, criterion checks, prunes) keep accumulating in the
+// per-search Stats struct exactly as before; on top of that, every search
+// drains its Stats — plus the traversal internals Stats never carried:
+// heap pushes/pops, heap backing-array growth, depth-first child
+// expansions and deferred-list merge work — into these process-wide
+// counters, one batch of atomic adds per search. The hot per-node
+// increments are plain field adds on scratch-owned structs.
+var (
+	obsSearches      = obs.New("knn.searches")
+	obsSearchSSTree  = obs.New("knn.searches.sstree")
+	obsSearchMTree   = obs.New("knn.searches.mtree")
+	obsSearchRTree   = obs.New("knn.searches.rtree")
+	obsSearchOther   = obs.New("knn.searches.other")
+	obsNodesVisited  = obs.New("knn.nodes_visited")
+	obsItemsScanned  = obs.New("knn.items_scanned")
+	obsDomChecks     = obs.New("knn.dom_checks")
+	obsPruned        = obs.New("knn.pruned")
+	obsResurrected   = obs.New("knn.resurrected")
+	obsHeapPushes    = obs.New("knn.heap_pushes")
+	obsHeapPops      = obs.New("knn.heap_pops")
+	obsHeapGrowth    = obs.New("knn.heap_growth")
+	obsDFExpansions  = obs.New("knn.df_child_expansions")
+	obsDeferMerges   = obs.New("knn.deferred_merges")
+	obsDeferItems    = obs.New("knn.deferred_items")
+	obsBatches       = obs.New("knn.batches")
+	obsBatchQueries  = obs.New("knn.batch_queries")
+	obsBruteSearches = obs.New("knn.brute_force_searches")
+)
+
+// flushStats adds one query's Stats to the global counters.
+func flushStats(st *Stats) {
+	obsNodesVisited.Add(uint64(st.NodesVisited))
+	obsItemsScanned.Add(uint64(st.Items))
+	obsDomChecks.Add(uint64(st.DomChecks))
+	obsPruned.Add(uint64(st.Pruned))
+	obsResurrected.Add(uint64(st.Resurrected))
+}
+
+// flushObs drains one finished search into the global counters and zeroes
+// the scratch-local tallies. Called once per search when the obs gate is
+// on; the scratch tallies still accumulate (cheaply) when it is off, so
+// they are also zeroed here to keep a later snapshot from attributing old
+// work to a new window.
+func (sc *scratch) flushObs(idx Index, st *Stats) {
+	obsSearches.Inc()
+	switch idx.(type) {
+	case ssAdapter:
+		obsSearchSSTree.Inc()
+	case mAdapter:
+		obsSearchMTree.Inc()
+	case rAdapter:
+		obsSearchRTree.Inc()
+	default:
+		obsSearchOther.Inc()
+	}
+	flushStats(st)
+
+	if n := sc.heap.pushes + sc.ssHeap.pushes; n != 0 {
+		obsHeapPushes.Add(n)
+	}
+	if n := sc.heap.pops + sc.ssHeap.pops; n != 0 {
+		obsHeapPops.Add(n)
+	}
+	if n := sc.heap.grown + sc.ssHeap.grown; n != 0 {
+		obsHeapGrowth.Add(n)
+	}
+	if sc.dfExpansions != 0 {
+		obsDFExpansions.Add(sc.dfExpansions)
+	}
+	if sc.list.deferMerges != 0 {
+		obsDeferMerges.Add(sc.list.deferMerges)
+		obsDeferItems.Add(sc.list.deferItems)
+	}
+	sc.clearObsTallies()
+
+	// The criterion-level events the search's PreparedPair tallied
+	// (quartic solves, overlap short-circuits) become visible with the
+	// same per-search cadence.
+	sc.list.pp.FlushObs()
+}
+
+// clearObsTallies zeroes the scratch-local counters a flush (or a pool
+// put-back with the gate off) has accounted for.
+func (sc *scratch) clearObsTallies() {
+	sc.heap.pushes, sc.heap.pops, sc.heap.grown = 0, 0, 0
+	sc.ssHeap.pushes, sc.ssHeap.pops, sc.ssHeap.grown = 0, 0, 0
+	sc.dfExpansions = 0
+	sc.list.deferMerges, sc.list.deferItems = 0, 0
+}

@@ -1,0 +1,79 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/obs"
+)
+
+// TestObsSearchCounters verifies the traversal accounting: a tree search
+// publishes its Stats and heap tallies into the registry, attributed to the
+// right substrate, and publishes nothing while the gate is off.
+func TestObsSearchCounters(t *testing.T) {
+	defer obs.SetEnabled(true)
+	obs.SetEnabled(true)
+
+	rng := rand.New(rand.NewSource(99))
+	items := randItems(rng, 4, 800, 2)
+	idx := index(items, 4)
+	q := randQuery(rng, 4, 1)
+
+	const searches = 5
+	before := obs.Snapshot()
+	var res Result
+	for i := 0; i < searches; i++ {
+		res = Search(idx, q, 10, dominance.Hyperbola{}, HS)
+	}
+	diff := obs.Snapshot().Diff(before)
+
+	if got := diff.Get("knn.searches"); got != searches {
+		t.Errorf("knn.searches = %d, want %d", got, searches)
+	}
+	if got := diff.Get("knn.searches.sstree"); got != searches {
+		t.Errorf("knn.searches.sstree = %d, want %d", got, searches)
+	}
+	// The last search's Stats are a lower bound on the accumulated totals.
+	if got := diff.Get("knn.nodes_visited"); got < uint64(res.Stats.NodesVisited) {
+		t.Errorf("knn.nodes_visited = %d, below one search's %d", got, res.Stats.NodesVisited)
+	}
+	if got := diff.Get("knn.items_scanned"); got < uint64(res.Stats.Items) {
+		t.Errorf("knn.items_scanned = %d, below one search's %d", got, res.Stats.Items)
+	}
+	if got := diff.Get("knn.dom_checks"); got < uint64(res.Stats.DomChecks) {
+		t.Errorf("knn.dom_checks = %d, below one search's %d", got, res.Stats.DomChecks)
+	}
+	if diff.Get("knn.heap_pushes") == 0 || diff.Get("knn.heap_pops") == 0 {
+		t.Errorf("heap tallies did not move: pushes=%d pops=%d",
+			diff.Get("knn.heap_pushes"), diff.Get("knn.heap_pops"))
+	}
+
+	obs.SetEnabled(false)
+	before = obs.Snapshot()
+	Search(idx, q, 10, dominance.Hyperbola{}, HS)
+	if diff := obs.Snapshot().Diff(before); len(diff) != 0 {
+		t.Errorf("counters moved while disabled: %v", diff)
+	}
+}
+
+// TestObsBruteForceCounters checks the non-tree path publishes too.
+func TestObsBruteForceCounters(t *testing.T) {
+	defer obs.SetEnabled(true)
+	obs.SetEnabled(true)
+
+	rng := rand.New(rand.NewSource(7))
+	items := randItems(rng, 3, 200, 2)
+	q := randQuery(rng, 3, 1)
+
+	before := obs.Snapshot()
+	res := BruteForce(items, q, 5, dominance.Hyperbola{})
+	diff := obs.Snapshot().Diff(before)
+
+	if got := diff.Get("knn.brute_force_searches"); got != 1 {
+		t.Errorf("knn.brute_force_searches = %d, want 1", got)
+	}
+	if got := diff.Get("knn.items_scanned"); got != uint64(res.Stats.Items) {
+		t.Errorf("knn.items_scanned = %d, want %d", got, res.Stats.Items)
+	}
+}

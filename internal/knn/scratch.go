@@ -32,6 +32,10 @@ type scratch struct {
 	ssStack []sstree.Node
 	ssDists []float64
 	ssHeap  ssHeap
+
+	// dfExpansions tallies children expanded by the depth-first
+	// traversals this search (plain add; drained by flushObs).
+	dfExpansions uint64
 }
 
 // resetTraversal empties the traversal buffers before a search. The DF
@@ -58,6 +62,12 @@ func getScratch() *scratch { return scratchPool.Get().(*scratch) }
 // single stale IndexNode, tree-node cursor, or Item would otherwise retain
 // an entire index (or its data spheres) that the caller has dropped.
 func putScratch(sc *scratch) {
+	// A search flushes its own tallies when the obs gate is on; this
+	// catches tallies accumulated while it was off (and the prepared-pair
+	// remainder) so a pooled scratch never carries stale work counts into
+	// a later measurement window.
+	sc.clearObsTallies()
+	sc.list.pp.FlushObs()
 	sc.stack = clearCap(sc.stack)
 	sc.dists = sc.dists[:0]
 	sc.heap.nodes = clearCap(sc.heap.nodes)

@@ -5,6 +5,7 @@ import (
 
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/geom"
+	"hyperdom/internal/obs"
 	"hyperdom/internal/sstree"
 )
 
@@ -88,6 +89,9 @@ func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Crite
 			panic(fmt.Sprintf("knn: unknown algorithm %d", int(algo)))
 		}
 		res.Items = l.finish()
+		if obs.On() {
+			sc.flushObs(idx, &res.Stats)
+		}
 		return res
 	}
 	root, ok := idx.RootNode()
@@ -103,6 +107,9 @@ func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Crite
 		panic(fmt.Sprintf("knn: unknown algorithm %d", int(algo)))
 	}
 	res.Items = l.finish()
+	if obs.On() {
+		sc.flushObs(idx, &res.Stats)
+	}
 	return res
 }
 
@@ -121,6 +128,7 @@ func (sc *scratch) searchDF(n IndexNode, sq geom.Sphere, l *bestList) {
 	base := len(sc.stack)
 	sc.stack = n.ChildNodes(sc.stack)
 	nc := len(sc.stack) - base
+	sc.dfExpansions += uint64(nc)
 	sc.dists = growTo(sc.dists, base+nc)
 	for i := 0; i < nc; i++ {
 		sc.dists[base+i] = sc.stack[base+i].MinDistTo(sq)
@@ -155,11 +163,19 @@ func growTo(s []float64, n int) []float64 {
 type nodeHeap struct {
 	nodes []IndexNode
 	dists []float64
+
+	// Scratch-local observability tallies (plain adds; drained per search
+	// by scratch.flushObs).
+	pushes, pops, grown uint64
 }
 
 func (h *nodeHeap) len() int { return len(h.nodes) }
 
 func (h *nodeHeap) push(n IndexNode, d float64) {
+	h.pushes++
+	if len(h.nodes) == cap(h.nodes) {
+		h.grown++
+	}
 	h.nodes = append(h.nodes, n)
 	h.dists = append(h.dists, d)
 	i := len(h.nodes) - 1
@@ -179,6 +195,7 @@ func (h *nodeHeap) push(n IndexNode, d float64) {
 // and a live reference there would retain an entire abandoned index during
 // deep traversals.
 func (h *nodeHeap) pop() (IndexNode, float64) {
+	h.pops++
 	n, d := h.nodes[0], h.dists[0]
 	last := len(h.nodes) - 1
 	h.nodes[0], h.dists[0] = h.nodes[last], h.dists[last]
@@ -281,6 +298,7 @@ func (sc *scratch) searchDFSS(n sstree.Node, sq geom.Sphere, l *bestList) {
 	}
 	base := len(sc.ssStack)
 	nc := n.NumChildren()
+	sc.dfExpansions += uint64(nc)
 	for i := 0; i < nc; i++ {
 		c := n.Child(i)
 		sc.ssStack = append(sc.ssStack, c)
@@ -302,11 +320,18 @@ func (sc *scratch) searchDFSS(n sstree.Node, sq geom.Sphere, l *bestList) {
 type ssHeap struct {
 	nodes []sstree.Node
 	dists []float64
+
+	// Scratch-local observability tallies, as in nodeHeap.
+	pushes, pops, grown uint64
 }
 
 func (h *ssHeap) len() int { return len(h.nodes) }
 
 func (h *ssHeap) push(n sstree.Node, d float64) {
+	h.pushes++
+	if len(h.nodes) == cap(h.nodes) {
+		h.grown++
+	}
 	h.nodes = append(h.nodes, n)
 	h.dists = append(h.dists, d)
 	i := len(h.nodes) - 1
@@ -322,6 +347,7 @@ func (h *ssHeap) push(n sstree.Node, d float64) {
 }
 
 func (h *ssHeap) pop() (sstree.Node, float64) {
+	h.pops++
 	n, d := h.nodes[0], h.dists[0]
 	last := len(h.nodes) - 1
 	h.nodes[0], h.dists[0] = h.nodes[last], h.dists[last]

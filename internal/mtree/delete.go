@@ -1,6 +1,7 @@
 package mtree
 
 import (
+	"hyperdom/internal/obs"
 	"hyperdom/internal/vec"
 )
 
@@ -25,6 +26,10 @@ func (t *Tree) Delete(it Item) bool {
 	for _, o := range orphans {
 		t.size--
 		t.Insert(o)
+	}
+	if obs.On() {
+		obsDeletes.Inc()
+		obsReinserts.Add(uint64(len(orphans)))
 	}
 	return true
 }

@@ -1,0 +1,12 @@
+package mtree
+
+import "hyperdom/internal/obs"
+
+// Structural observability counters (ISSUE 2), mirroring the sstree set;
+// see sstree/metrics.go.
+var (
+	obsInserts   = obs.New("mtree.inserts")
+	obsDeletes   = obs.New("mtree.deletes")
+	obsSplits    = obs.New("mtree.node_splits")
+	obsReinserts = obs.New("mtree.reinserts")
+)

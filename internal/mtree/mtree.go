@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"hyperdom/internal/geom"
+	"hyperdom/internal/obs"
 	"hyperdom/internal/vec"
 )
 
@@ -99,6 +100,9 @@ func (t *Tree) Insert(it Item) {
 		t.root = newRoot
 	}
 	t.size++
+	if obs.On() {
+		obsInserts.Inc()
+	}
 }
 
 func (t *Tree) insert(n *node, it Item) (*node, *node) {
@@ -252,6 +256,9 @@ func partition(pts [][]float64, pa, pb []float64, minFill int) ([]int, []int) {
 }
 
 func (t *Tree) splitLeaf(n *node) (*node, *node) {
+	if obs.On() {
+		obsSplits.Inc()
+	}
 	pts := make([][]float64, len(n.items))
 	for i, it := range n.items {
 		pts[i] = it.Sphere.Center
@@ -270,6 +277,9 @@ func (t *Tree) splitLeaf(n *node) (*node, *node) {
 }
 
 func (t *Tree) splitInternal(n *node) (*node, *node) {
+	if obs.On() {
+		obsSplits.Inc()
+	}
 	pts := make([][]float64, len(n.children))
 	for i, c := range n.children {
 		pts[i] = c.pivot

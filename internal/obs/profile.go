@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile starts a CPU profile into path and returns the function
+// that stops it and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile runs a GC (so the profile reflects live objects, not
+// garbage) and writes the heap profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Serve starts an HTTP server on addr exposing net/http/pprof under
+// /debug/pprof/ and the expvar counter export (including the "hyperdom"
+// snapshot) under /debug/vars. It returns the bound address — pass
+// "localhost:0" for an ephemeral port. The server runs until the process
+// exits.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck — runs for the process lifetime
+	return ln.Addr().String(), nil
+}
+
+// ProfileFlags is the shared -pprof/-cpuprofile/-memprofile/-metrics flag
+// set of the benchmark commands.
+type ProfileFlags struct {
+	CPUProfile string
+	MemProfile string
+	PprofAddr  string
+	Metrics    bool
+}
+
+// RegisterFlags installs the profiling flags on fs and returns the
+// destination struct. Call Start after fs.Parse.
+func RegisterFlags(fs *flag.FlagSet) *ProfileFlags {
+	pf := &ProfileFlags{}
+	fs.StringVar(&pf.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&pf.MemProfile, "memprofile", "", "write a heap profile to `file` on exit")
+	fs.StringVar(&pf.PprofAddr, "pprof", "", "serve /debug/pprof and /debug/vars on `addr` (e.g. localhost:6060)")
+	fs.BoolVar(&pf.Metrics, "metrics", false, "print the obs counter snapshot on exit")
+	return pf
+}
+
+// Wanted reports whether any observability output was requested — commands
+// that disable counters by default for timing fidelity re-enable them when
+// it returns true.
+func (pf *ProfileFlags) Wanted() bool {
+	return pf.Metrics || pf.PprofAddr != "" || pf.CPUProfile != "" || pf.MemProfile != ""
+}
+
+// Start begins whatever profiling the flags request and returns the
+// function to run at exit (stop the CPU profile, dump the heap profile,
+// print the metrics snapshot). The returned stop is never nil.
+func (pf *ProfileFlags) Start() (stop func(), err error) {
+	var stopCPU func() error
+	if pf.CPUProfile != "" {
+		stopCPU, err = StartCPUProfile(pf.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if pf.PprofAddr != "" {
+		addr, err := Serve(pf.PprofAddr)
+		if err != nil {
+			if stopCPU != nil {
+				stopCPU() //nolint:errcheck
+			}
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "obs: serving pprof + expvar on http://%s/debug/pprof/\n", addr)
+	}
+	return func() {
+		if stopCPU != nil {
+			if err := stopCPU(); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: cpu profile: %v\n", err)
+			}
+		}
+		if pf.MemProfile != "" {
+			if err := WriteHeapProfile(pf.MemProfile); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: heap profile: %v\n", err)
+			}
+		}
+		if pf.Metrics {
+			Snapshot().Fprint(os.Stderr)
+		}
+	}, nil
+}

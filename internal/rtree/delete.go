@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"hyperdom/internal/geom"
+	"hyperdom/internal/obs"
 	"hyperdom/internal/vec"
 )
 
@@ -28,6 +29,10 @@ func (t *Tree) Delete(it Item) bool {
 	for _, o := range orphans {
 		t.size--
 		t.Insert(o)
+	}
+	if obs.On() {
+		obsDeletes.Inc()
+		obsReinserts.Add(uint64(len(orphans)))
 	}
 	return true
 }

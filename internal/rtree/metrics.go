@@ -1,0 +1,12 @@
+package rtree
+
+import "hyperdom/internal/obs"
+
+// Structural observability counters (ISSUE 2), mirroring the sstree set;
+// see sstree/metrics.go.
+var (
+	obsInserts   = obs.New("rtree.inserts")
+	obsDeletes   = obs.New("rtree.deletes")
+	obsSplits    = obs.New("rtree.node_splits")
+	obsReinserts = obs.New("rtree.reinserts")
+)

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"hyperdom/internal/geom"
+	"hyperdom/internal/obs"
 )
 
 // Item is the indexed unit, shared with the other index packages.
@@ -103,6 +104,9 @@ func (t *Tree) Insert(it Item) {
 		t.root = newRoot
 	}
 	t.size++
+	if obs.On() {
+		obsInserts.Inc()
+	}
 }
 
 func (t *Tree) insert(n *node, it Item, mbr geom.Rect) (*node, *node) {
@@ -199,6 +203,9 @@ func assignGroups(rects []geom.Rect, sa, sb, minFill int) ([]int, []int) {
 }
 
 func (t *Tree) splitLeaf(n *node) (*node, *node) {
+	if obs.On() {
+		obsSplits.Inc()
+	}
 	sa, sb := quadraticSeeds(n.rects)
 	ga, gb := assignGroups(n.rects, sa, sb, t.minFill)
 	mk := func(idxs []int) *node {
@@ -214,6 +221,9 @@ func (t *Tree) splitLeaf(n *node) (*node, *node) {
 }
 
 func (t *Tree) splitInternal(n *node) (*node, *node) {
+	if obs.On() {
+		obsSplits.Inc()
+	}
 	rects := make([]geom.Rect, len(n.children))
 	for i, c := range n.children {
 		rects[i] = c.rect

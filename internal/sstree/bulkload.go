@@ -3,6 +3,8 @@ package sstree
 import (
 	"fmt"
 	"sort"
+
+	"hyperdom/internal/obs"
 )
 
 // BulkLoad builds the tree from the whole item set at once, STR-style:
@@ -40,6 +42,9 @@ func (t *Tree) BulkLoad(items []Item) {
 	}
 	t.root = t.bulkBuild(buf, height)
 	t.size = len(buf)
+	if obs.On() {
+		obsBulkItems.Add(uint64(len(buf)))
+	}
 }
 
 // bulkBuild constructs a subtree of the given height over items, which it

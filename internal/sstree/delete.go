@@ -2,6 +2,7 @@ package sstree
 
 import (
 	"hyperdom/internal/geom"
+	"hyperdom/internal/obs"
 	"hyperdom/internal/vec"
 )
 
@@ -29,6 +30,10 @@ func (t *Tree) Delete(it Item) bool {
 	for _, o := range orphans {
 		t.size-- // Insert will count it back
 		t.Insert(o)
+	}
+	if obs.On() {
+		obsDeletes.Inc()
+		obsReinserts.Add(uint64(len(orphans)))
 	}
 	return true
 }

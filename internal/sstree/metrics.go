@@ -1,0 +1,16 @@
+package sstree
+
+import "hyperdom/internal/obs"
+
+// Structural observability counters (ISSUE 2): how much maintenance work
+// the substrate performs. All sites are O(node) operations already, so a
+// gated atomic add is free relative to the work it counts; traversal-time
+// work (node visits per query) is counted by package knn, which owns the
+// searches.
+var (
+	obsInserts   = obs.New("sstree.inserts")
+	obsDeletes   = obs.New("sstree.deletes")
+	obsSplits    = obs.New("sstree.node_splits")
+	obsReinserts = obs.New("sstree.reinserts")
+	obsBulkItems = obs.New("sstree.bulkload_items")
+)

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"hyperdom/internal/geom"
+	"hyperdom/internal/obs"
 	"hyperdom/internal/vec"
 )
 
@@ -125,6 +126,9 @@ func (t *Tree) Insert(it Item) {
 		t.root = newRoot
 	}
 	t.size++
+	if obs.On() {
+		obsInserts.Inc()
+	}
 }
 
 // insert descends, inserts, refits bounding spheres on the way out, and
@@ -266,6 +270,9 @@ func bestSplitIndex(vals []float64, minFill int) int {
 }
 
 func (t *Tree) splitLeaf(n *node) (*node, *node) {
+	if obs.On() {
+		obsSplits.Inc()
+	}
 	pts := make([][]float64, len(n.items))
 	for i, it := range n.items {
 		pts[i] = it.Sphere.Center
@@ -286,6 +293,9 @@ func (t *Tree) splitLeaf(n *node) (*node, *node) {
 }
 
 func (t *Tree) splitInternal(n *node) (*node, *node) {
+	if obs.On() {
+		obsSplits.Inc()
+	}
 	pts := make([][]float64, len(n.children))
 	for i, c := range n.children {
 		pts[i] = c.centroid

@@ -1,0 +1,31 @@
+package workload
+
+import (
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/obs"
+)
+
+// Worker/batch-level observability counters (ISSUE 2). The per-triple hot
+// loops stay untouched: every counter here is fed with one atomic add per
+// batch (or per worker chunk), amortizing the accounting over thousands of
+// criterion calls. Per-criterion invocation totals are published under
+// "workload.verdicts.<criterion name>".
+var (
+	obsTriples       = obs.New("workload.triples_evaluated")
+	obsSerialBatches = obs.New("workload.batches_serial")
+	obsParBatches    = obs.New("workload.batches_parallel")
+	obsWorkers       = obs.New("workload.workers_spawned")
+	obsPrepGroups    = obs.New("workload.prepared_groups")
+	obsPrepShared    = obs.New("workload.prepared_shared_triples")
+	obsTimingRuns    = obs.New("workload.timing_runs")
+)
+
+// tallyBatch records one evaluated workload batch for the given criterion.
+func tallyBatch(c dominance.Criterion, n int, batches *obs.Counter) {
+	if !obs.On() || n == 0 {
+		return
+	}
+	batches.Inc()
+	obsTriples.Add(uint64(n))
+	obs.GetOrNew("workload.verdicts." + c.Name()).Add(uint64(n))
+}

@@ -7,6 +7,7 @@ import (
 
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/geom"
+	"hyperdom/internal/obs"
 )
 
 // VerdictsParallel evaluates the criterion over the workload with a pool
@@ -37,6 +38,10 @@ func VerdictsParallel(c dominance.Criterion, w []Triple, workers int) []bool {
 	out := make([]bool, len(w))
 	if len(w) == 0 {
 		return out
+	}
+	tallyBatch(c, len(w), obsParBatches)
+	if obs.On() {
+		obsWorkers.Add(uint64(workers))
 	}
 	if _, ok := c.(dominance.Hyperbola); ok {
 		verdictsPrepared(w, out, workers)
@@ -84,13 +89,23 @@ func verdictsPrepared(w []Triple, out []bool, workers int) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			var pp dominance.PreparedPair
+			var groups uint64
 			for s := lo; s < hi; s++ {
 				i := order[s]
 				if s == lo || comparePairs(w[order[s-1]], w[i]) != 0 {
 					pp.Reset(w[i].A, w[i].B)
+					groups++
 				}
 				out[i] = pp.Dominates(w[i].Q)
 			}
+			// One batch of atomic adds per worker chunk: how many distinct
+			// pair groups it prepared and how many triples rode an
+			// already-prepared pair, plus the kernel's own tallies.
+			if obs.On() {
+				obsPrepGroups.Add(groups)
+				obsPrepShared.Add(uint64(hi-lo) - groups)
+			}
+			pp.FlushObs()
 		}(start, end)
 	}
 	wg.Wait()

@@ -15,6 +15,7 @@ import (
 
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/geom"
+	"hyperdom/internal/obs"
 )
 
 // Triple is one dominance query instance.
@@ -47,6 +48,7 @@ func Verdicts(c dominance.Criterion, w []Triple) []bool {
 	for i, t := range w {
 		out[i] = c.Dominates(t.A, t.B, t.Q)
 	}
+	tallyBatch(c, len(w), obsSerialBatches)
 	return out
 }
 
@@ -112,5 +114,10 @@ func TimePerOp(c dominance.Criterion, w []Triple, minDuration time.Duration) tim
 	}
 	elapsed := time.Since(start)
 	_ = sink
+	if obs.On() {
+		obsTimingRuns.Inc()
+		obsTriples.Add(uint64(ops))
+		obs.GetOrNew("workload.verdicts." + c.Name()).Add(uint64(ops))
+	}
 	return elapsed / time.Duration(ops)
 }
