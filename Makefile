@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short bench bench-all fuzz experiments examples cover clean
+.PHONY: all build check test test-short bench bench-all fuzz experiments examples serve cover clean
 
 all: build check
 
@@ -44,6 +44,12 @@ experiments:
 	$(GO) run ./cmd/dombench -scale 0.2 -timing 100ms
 	$(GO) run ./cmd/knnbench -scale 0.05
 	$(GO) run ./cmd/knnbench -fig 17 -scale 0.05
+
+# Run the kNN figures with counters enabled and the observability server
+# up for local profiling: /metrics, /debug/slow and /debug/pprof stay
+# served on :6060 after the figures finish, until Ctrl-C.
+serve:
+	$(GO) run ./cmd/knnbench -serve :6060 -metrics
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -6,8 +6,9 @@
 //     certain-query pruning case) and fat sphere queries;
 //   - the DF and HS kNN traversals over a 10k-item SS-tree, with their
 //     steady-state allocations per search;
-//   - a metrics block captured from the obs counter registry: prune rates,
-//     dominance checks and nodes visited per query, heap traffic.
+//   - a metrics block captured from the obs registry: prune rates,
+//     dominance checks and nodes visited per query, heap traffic, and the
+//     p50/p99 per-search latency from the knn.search_latency histograms.
 //
 // Timing benchmarks run with the obs counters disabled so ns/op stays
 // comparable across PRs; the metrics block comes from a separate
@@ -33,6 +34,7 @@ import (
 	"hyperdom/internal/knn"
 	"hyperdom/internal/obs"
 	"hyperdom/internal/sstree"
+	"hyperdom/internal/workload"
 )
 
 // kernelBench is one benchmark row of the output file.
@@ -56,6 +58,8 @@ type metricsBlock struct {
 	PruneRate          float64           `json:"prune_rate"`
 	HeapPushesPerQuery float64           `json:"heap_pushes_per_query"`
 	PreparedReuseRate  float64           `json:"prepared_reuse_rate"`
+	SearchLatencyP50Ns float64           `json:"search_latency_p50_ns"`
+	SearchLatencyP99Ns float64           `json:"search_latency_p99_ns"`
 }
 
 // report is the schema of BENCH_knn.json.
@@ -112,8 +116,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchkernel:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (prepared point-query speedup %.2fx, sphere-query %.2fx; knn allocs/search DF=%d HS=%d; prune rate %.2f)\n",
-		cfg.Out, rep.SpeedupPointQ, rep.SpeedupSphereQ, rep.KnnAllocsDF, rep.KnnAllocsHS, rep.Metrics.PruneRate)
+	fmt.Printf("wrote %s (prepared point-query speedup %.2fx, sphere-query %.2fx; knn allocs/search DF=%d HS=%d; prune rate %.2f; search p50=%.0fns p99=%.0fns)\n",
+		cfg.Out, rep.SpeedupPointQ, rep.SpeedupSphereQ, rep.KnnAllocsDF, rep.KnnAllocsHS,
+		rep.Metrics.PruneRate, rep.Metrics.SearchLatencyP50Ns, rep.Metrics.SearchLatencyP99Ns)
 	stop()
 
 	if cfg.Gate != "" {
@@ -198,13 +203,15 @@ func buildReport() report {
 }
 
 // captureMetrics runs the fixed metrics workload with counters enabled and
-// reduces the registry diff to the per-query ratios the report carries.
+// reduces the registry to the per-query ratios and latency quantiles the
+// report carries. The registry is zeroed first (obs.ResetForTest) so every
+// reading — counters and histograms alike — is absolute for this window.
 func captureMetrics(idx knn.Index, queries []geom.Sphere, k int, sa, sb geom.Sphere, points []geom.Sphere) metricsBlock {
 	obs.SetEnabled(true)
 	defer obs.SetEnabled(false)
+	obs.ResetForTest()
 
 	const rounds = 4
-	before := obs.Snapshot()
 	for r := 0; r < rounds; r++ {
 		for _, q := range queries {
 			knn.Search(idx, q, k, dominance.Hyperbola{}, knn.HS)
@@ -216,16 +223,23 @@ func captureMetrics(idx knn.Index, queries []geom.Sphere, k int, sa, sb geom.Sph
 	// one pair serves the whole query batch.
 	preSweep := obs.Snapshot()
 	pp := dominance.PreparePair(sa, sb)
-	for _, q := range points {
-		sink(pp.Dominates(q))
-	}
+	verdicts := make([]bool, len(points))
+	pp.DominatesBatch(points, verdicts)
 	pp.FlushObs()
-	after := obs.Snapshot()
-	diff := after.Diff(before)
-	sweep := after.Diff(preSweep)
+
+	// One serial workload batch over the same fixture, so the workload
+	// layer's batch-latency histogram carries samples in the exposition too.
+	triples := make([]workload.Triple, len(points))
+	for i, q := range points {
+		triples[i] = workload.Triple{A: sa, B: sb, Q: q}
+	}
+	workload.Verdicts(dominance.Hyperbola{}, triples)
+
+	diff := obs.Snapshot()
+	sweep := diff.Diff(preSweep)
 
 	searches := rounds * len(queries)
-	m := metricsBlock{Searches: searches, Counters: diff}
+	m := metricsBlock{Searches: searches, Counters: diff.Diff(obs.Snap{})}
 	n := float64(searches)
 	m.DomChecksPerQuery = float64(diff.Get("knn.dom_checks")) / n
 	m.NodesPerQuery = float64(diff.Get("knn.nodes_visited")) / n
@@ -239,6 +253,9 @@ func captureMetrics(idx knn.Index, queries []geom.Sphere, k int, sa, sb geom.Sph
 	if q := sweep.Get("dominance.prepared.queries"); q > 0 {
 		m.PreparedReuseRate = float64(sweep.Get("dominance.prepared.reuse_hits")) / float64(q)
 	}
+	lat := obs.MergedHist("knn.search_latency")
+	m.SearchLatencyP50Ns = lat.Quantile(0.5)
+	m.SearchLatencyP99Ns = lat.Quantile(0.99)
 	return m
 }
 

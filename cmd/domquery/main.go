@@ -12,6 +12,11 @@
 // Output: one JSON object with each criterion's verdict, the optimal
 // verdict, and — when dominance fails — a witness point inside Sq whose
 // distance margin certifies the failure.
+//
+// The shared observability flags are available too: `domquery -serve :6060`
+// answers the query and then keeps serving /metrics, /debug/slow and
+// /debug/pprof until interrupted, so the criterion counters the query moved
+// can be inspected.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"os"
 
 	"hyperdom"
+	"hyperdom/internal/obs"
 )
 
 type sphereJSON struct {
@@ -48,7 +54,13 @@ type witnessJSON struct {
 
 func main() {
 	in := flag.String("in", "", "input file (default stdin)")
+	pf := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stop, err := pf.Start()
+	if err != nil {
+		fatal("%v", err)
+	}
 
 	r := io.Reader(os.Stdin)
 	if *in != "" {
@@ -62,6 +74,7 @@ func main() {
 	if err := run(r, os.Stdout); err != nil {
 		fatal("%v", err)
 	}
+	stop()
 }
 
 // run decodes one query from r, evaluates it and writes the JSON result to

@@ -43,7 +43,9 @@ func main() {
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
 	if *fig == 17 {
+		before := figureMetricsStart(pf)
 		fmt.Println(experiments.RunIndexComparison(cfg).Table().Render())
+		figureMetricsEnd(pf, 17, before)
 		return
 	}
 	runners := map[int]func(experiments.Config) experiments.KnnResult{
@@ -64,8 +66,32 @@ func main() {
 	}
 
 	for _, f := range selected {
+		before := figureMetricsStart(pf)
 		res := runners[f](cfg)
 		fmt.Println(res.TimeTable().Render())
 		fmt.Println(res.PrecisionTable().Render())
+		figureMetricsEnd(pf, f, before)
 	}
+}
+
+// figureMetricsStart honors an explicit -metrics per figure: the counter
+// gate is (re-)enabled before each figure — regardless of what an earlier
+// figure or timing loop left it at — and the registry snapshotted so the
+// figure's own counter diff can be printed afterwards.
+func figureMetricsStart(pf *obs.ProfileFlags) obs.Snap {
+	if !pf.Metrics {
+		return nil
+	}
+	obs.SetEnabled(true)
+	return obs.Snapshot()
+}
+
+// figureMetricsEnd prints the counters one figure moved, to stderr so the
+// figure tables on stdout stay machine-readable.
+func figureMetricsEnd(pf *obs.ProfileFlags, fig int, before obs.Snap) {
+	if before == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "-- fig %d counters --\n", fig)
+	obs.Snapshot().Diff(before).Fprint(os.Stderr)
 }

@@ -23,6 +23,12 @@ var (
 	obsPrepReuse   = obs.New("dominance.prepared.reuse_hits")
 )
 
+// histPreparedBatch times whole DominatesBatch sweeps (ISSUE 3): the
+// ~30ns per-query kernel cannot afford a clock read per verdict, so the
+// latency observability of this layer is stated per batch — one time.Now
+// delta amortized over the sweep, same discipline as the counter tallies.
+var histPreparedBatch = obs.NewHistogram("dominance.prepared_batch_latency", "")
+
 // obsFlushEvery bounds how many queries a PreparedPair tallies locally
 // before pushing into the global counters, so long-lived pairs cannot lag
 // a snapshot by more than this many events. Power of two; the flush costs

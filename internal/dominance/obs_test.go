@@ -98,13 +98,15 @@ func TestObsOverhead(t *testing.T) {
 
 // TestObsPairCounters pins the prepared-pair event accounting: queries,
 // reuse hits, resets, verdicts and quartic solves must land in the
-// registry after a flush, and must not move while the gate is off.
+// registry after a flush, and must not move while the gate is off. The
+// registry is zeroed up front (obs.ResetForTest) so every assertion reads
+// an absolute counter value rather than diffing snapshots.
 func TestObsPairCounters(t *testing.T) {
 	sa, sb, queries := obsWorkload(64)
 	defer obs.SetEnabled(true)
 
 	obs.SetEnabled(true)
-	before := obs.Snapshot()
+	obs.ResetForTest()
 	pp := PreparePair(sa, sb)
 	trues, falses := 0, 0
 	for _, q := range queries {
@@ -115,21 +117,21 @@ func TestObsPairCounters(t *testing.T) {
 		}
 	}
 	pp.FlushObs()
-	diff := obs.Snapshot().Diff(before)
+	got := obs.Snapshot()
 
-	if got := diff.Get("dominance.prepared.queries"); got != uint64(len(queries)) {
+	if got := got.Get("dominance.prepared.queries"); got != uint64(len(queries)) {
 		t.Errorf("prepared.queries = %d, want %d", got, len(queries))
 	}
-	if got := diff.Get("dominance.prepared.resets"); got != 1 {
+	if got := got.Get("dominance.prepared.resets"); got != 1 {
 		t.Errorf("prepared.resets = %d, want 1", got)
 	}
-	if got := diff.Get("dominance.prepared.reuse_hits"); got != uint64(len(queries)-1) {
+	if got := got.Get("dominance.prepared.reuse_hits"); got != uint64(len(queries)-1) {
 		t.Errorf("prepared.reuse_hits = %d, want %d", got, len(queries)-1)
 	}
-	if got := diff.Get("dominance.prepared.verdict_true"); got != uint64(trues) {
+	if got := got.Get("dominance.prepared.verdict_true"); got != uint64(trues) {
 		t.Errorf("prepared.verdict_true = %d, want %d", got, trues)
 	}
-	if got := diff.Get("dominance.prepared.verdict_false"); got != uint64(falses) {
+	if got := got.Get("dominance.prepared.verdict_false"); got != uint64(falses) {
 		t.Errorf("prepared.verdict_false = %d, want %d", got, falses)
 	}
 	if trues+falses != len(queries) {
@@ -137,20 +139,20 @@ func TestObsPairCounters(t *testing.T) {
 	}
 	// Sphere queries with cq inside Ra hit the quartic; the fixture is
 	// built to exercise that path.
-	if diff.Get("dominance.quartic_solves") == 0 {
+	if got.Get("dominance.quartic_solves") == 0 {
 		t.Error("quartic_solves did not move on a workload with fat queries inside Ra")
 	}
 
 	// With the gate off, nothing may move.
 	obs.SetEnabled(false)
-	before = obs.Snapshot()
+	obs.ResetForTest()
 	pp2 := PreparePair(sa, sb)
 	for _, q := range queries {
 		obsSink = obsSink != pp2.Dominates(q)
 	}
 	pp2.FlushObs()
-	if diff := obs.Snapshot().Diff(before); len(diff) != 0 {
-		t.Errorf("counters moved while disabled: %v", diff)
+	if moved := obs.Snapshot().Diff(obs.Snap{}); len(moved) != 0 {
+		t.Errorf("counters moved while disabled: %v", moved)
 	}
 }
 
@@ -161,23 +163,23 @@ func TestObsHyperbolaCounters(t *testing.T) {
 	obs.SetEnabled(true)
 	sa, sb, queries := obsWorkload(32)
 
-	before := obs.Snapshot()
+	obs.ResetForTest()
 	crit := Hyperbola{}
 	for _, q := range queries {
 		obsSink = obsSink != crit.Dominates(sa, sb, q)
 	}
 	// An overlapping pair must take the short-circuit.
 	crit.Dominates(sa, sa, queries[0])
-	diff := obs.Snapshot().Diff(before)
+	got := obs.Snapshot()
 
-	if got := diff.Get("dominance.hyperbola.invocations"); got != uint64(len(queries)+1) {
+	if got := got.Get("dominance.hyperbola.invocations"); got != uint64(len(queries)+1) {
 		t.Errorf("hyperbola.invocations = %d, want %d", got, len(queries)+1)
 	}
-	if got := diff.Get("dominance.hyperbola.overlap_shortcircuit"); got != 1 {
+	if got := got.Get("dominance.hyperbola.overlap_shortcircuit"); got != 1 {
 		t.Errorf("hyperbola.overlap_shortcircuit = %d, want 1", got)
 	}
 	wantVerdicts := uint64(len(queries) + 1)
-	if got := diff.Get("dominance.hyperbola.verdict_true") + diff.Get("dominance.hyperbola.verdict_false"); got != wantVerdicts {
+	if got := got.Get("dominance.hyperbola.verdict_true") + got.Get("dominance.hyperbola.verdict_false"); got != wantVerdicts {
 		t.Errorf("hyperbola verdict counters sum to %d, want %d", got, wantVerdicts)
 	}
 }
@@ -189,18 +191,59 @@ func TestObsAutoFlush(t *testing.T) {
 	obs.SetEnabled(true)
 	sa, sb, queries := obsWorkload(16)
 
-	before := obs.Snapshot()
+	obs.ResetForTest()
 	pp := PreparePair(sa, sb)
 	n := obsFlushEvery + 5
 	for i := 0; i < n; i++ {
 		obsSink = obsSink != pp.Dominates(queries[i%len(queries)])
 	}
-	diff := obs.Snapshot().Diff(before)
-	if got := diff.Get("dominance.prepared.queries"); got < obsFlushEvery {
+	if got := obs.Snapshot().Get("dominance.prepared.queries"); got < obsFlushEvery {
 		t.Errorf("prepared.queries = %d before explicit flush, want >= %d (auto-flush)", got, obsFlushEvery)
 	}
 	pp.FlushObs()
-	if got := obs.Snapshot().Diff(before).Get("dominance.prepared.queries"); got != uint64(n) {
+	if got := obs.Snapshot().Get("dominance.prepared.queries"); got != uint64(n) {
 		t.Errorf("prepared.queries = %d after flush, want %d", got, n)
 	}
+}
+
+// TestDominatesBatch checks the batch sweep returns verdicts bit-identical
+// to the one-at-a-time path and records exactly one sample into the
+// batch-latency histogram per call (and none with the gate off).
+func TestDominatesBatch(t *testing.T) {
+	defer obs.SetEnabled(true)
+	sa, sb, queries := obsWorkload(128)
+
+	obs.SetEnabled(true)
+	obs.ResetForTest()
+	pp := PreparePair(sa, sb)
+	want := make([]bool, len(queries))
+	for i, q := range queries {
+		want[i] = pp.Dominates(q)
+	}
+	pp2 := PreparePair(sa, sb)
+	got := make([]bool, len(queries))
+	pp2.DominatesBatch(queries, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DominatesBatch verdict %d = %v, per-query path says %v", i, got[i], want[i])
+		}
+	}
+	if n := obs.MergedHist("dominance.prepared_batch_latency").Count; n != 1 {
+		t.Errorf("prepared_batch_latency holds %d samples after one batch, want 1", n)
+	}
+
+	obs.SetEnabled(false)
+	obs.ResetForTest()
+	pp3 := PreparePair(sa, sb)
+	pp3.DominatesBatch(queries, got)
+	if n := obs.MergedHist("dominance.prepared_batch_latency").Count; n != 0 {
+		t.Errorf("prepared_batch_latency recorded %d samples with the gate off, want 0", n)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched slice lengths did not panic")
+		}
+	}()
+	pp3.DominatesBatch(queries, got[:1])
 }

@@ -2,6 +2,7 @@ package dominance
 
 import (
 	"math"
+	"time"
 
 	"hyperdom/internal/geom"
 	"hyperdom/internal/obs"
@@ -114,6 +115,28 @@ func (p *PreparedPair) Reset(sa, sb geom.Sphere) {
 // Overlaps reports whether Sa and Sb overlap, in which case Dominates is
 // constantly false and callers can skip the per-query work entirely.
 func (p *PreparedPair) Overlaps() bool { return p.overlap }
+
+// DominatesBatch evaluates the pair's verdict for every query sphere,
+// writing out[i] = p.Dominates(qs[i]). Verdicts are bit-identical to the
+// one-at-a-time path; the whole sweep is timed with a single clock-read
+// pair into the dominance.prepared_batch_latency histogram, so batch
+// callers get latency observability without perturbing the per-query
+// kernel. It panics if the slice lengths differ.
+func (p *PreparedPair) DominatesBatch(qs []geom.Sphere, out []bool) {
+	if len(qs) != len(out) {
+		panic("dominance: DominatesBatch with mismatched slice lengths")
+	}
+	var start time.Time
+	if p.obsOn {
+		start = time.Now()
+	}
+	for i := range qs {
+		out[i] = p.Dominates(qs[i])
+	}
+	if p.obsOn {
+		histPreparedBatch.RecordDuration(time.Since(start))
+	}
+}
 
 // Dominates reports whether Sa dominates Sb with respect to sq, with a
 // verdict bit-identical to Hyperbola{}.Dominates(sa, sb, sq). Cost per call:

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/geom"
@@ -77,10 +78,29 @@ func BruteForce(items []Item, sq geom.Sphere, k int, crit dominance.Criterion) R
 	}
 	res := Result{K: k}
 	res.Stats.Items = len(items)
+	var start time.Time
+	if obs.On() {
+		start = time.Now()
+	}
 	defer func() {
 		if obs.On() {
 			obsBruteSearches.Inc()
 			flushStats(&res.Stats)
+			if !start.IsZero() {
+				lat := time.Since(start).Nanoseconds()
+				bruteLatency.Record(lat)
+				obs.Flight.Record(obs.FlightSample{
+					WhenUnixNs: start.UnixNano(),
+					LatencyNs:  lat,
+					Substrate:  flightBrute,
+					Algo:       flightScan,
+					K:          k,
+					Nodes:      uint64(res.Stats.NodesVisited),
+					Items:      uint64(res.Stats.Items),
+					DomChecks:  uint64(res.Stats.DomChecks),
+					Pruned:     uint64(res.Stats.Pruned),
+				})
+			}
 		}
 	}()
 	if len(items) == 0 {

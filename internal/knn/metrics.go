@@ -1,6 +1,11 @@
 package knn
 
-import "hyperdom/internal/obs"
+import (
+	"fmt"
+	"time"
+
+	"hyperdom/internal/obs"
+)
 
 // Traversal-level observability counters (ISSUE 2). The per-query figures
 // (node visits, criterion checks, prunes) keep accumulating in the
@@ -32,6 +37,46 @@ var (
 	obsBruteSearches = obs.New("knn.brute_force_searches")
 )
 
+// substrate indexes the per-substrate latency histograms and flight-record
+// labels. It mirrors the adapter type switch in flushObs.
+type substrate uint8
+
+const (
+	subSSTree substrate = iota
+	subMTree
+	subRTree
+	subOther
+	numSubstrates
+)
+
+var substrateNames = [numSubstrates]string{"sstree", "mtree", "rtree", "other"}
+
+// Per-search latency histograms (ISSUE 3), one instance per (substrate,
+// strategy) pair of the "knn.search_latency" family, plus a brute-force
+// instance. Each search records exactly one sample, into the shard its
+// pooled scratch arena owns, at the same flush point as the counters.
+var (
+	searchLatency [numSubstrates][2]*obs.Histogram
+	bruteLatency  = obs.NewHistogram("knn.search_latency", `substrate="brute",algo="scan"`)
+
+	flightSub   [numSubstrates]obs.LabelID
+	flightAlgo  [2]obs.LabelID
+	flightBrute = obs.FlightLabel("brute")
+	flightScan  = obs.FlightLabel("scan")
+)
+
+func init() {
+	for s := substrate(0); s < numSubstrates; s++ {
+		flightSub[s] = obs.FlightLabel(substrateNames[s])
+		for _, a := range []Algorithm{DF, HS} {
+			searchLatency[s][a] = obs.NewHistogram("knn.search_latency",
+				fmt.Sprintf("substrate=%q,algo=%q", substrateNames[s], a.String()))
+		}
+	}
+	flightAlgo[DF] = obs.FlightLabel(DF.String())
+	flightAlgo[HS] = obs.FlightLabel(HS.String())
+}
+
 // flushStats adds one query's Stats to the global counters.
 func flushStats(st *Stats) {
 	obsNodesVisited.Add(uint64(st.NodesVisited))
@@ -41,27 +86,33 @@ func flushStats(st *Stats) {
 	obsResurrected.Add(uint64(st.Resurrected))
 }
 
-// flushObs drains one finished search into the global counters and zeroes
-// the scratch-local tallies. Called once per search when the obs gate is
-// on; the scratch tallies still accumulate (cheaply) when it is off, so
-// they are also zeroed here to keep a later snapshot from attributing old
-// work to a new window.
-func (sc *scratch) flushObs(idx Index, st *Stats) {
+// flushObs drains one finished search into the global counters, records
+// its latency into the (substrate, strategy) histogram, offers it to the
+// flight recorder, and zeroes the scratch-local tallies. Called once per
+// search when the obs gate is on; the scratch tallies still accumulate
+// (cheaply) when it is off, so they are also zeroed here to keep a later
+// snapshot from attributing old work to a new window.
+func (sc *scratch) flushObs(idx Index, algo Algorithm, k int, start time.Time, st *Stats) {
 	obsSearches.Inc()
+	sub := subOther
 	switch idx.(type) {
 	case ssAdapter:
 		obsSearchSSTree.Inc()
+		sub = subSSTree
 	case mAdapter:
 		obsSearchMTree.Inc()
+		sub = subMTree
 	case rAdapter:
 		obsSearchRTree.Inc()
+		sub = subRTree
 	default:
 		obsSearchOther.Inc()
 	}
 	flushStats(st)
 
-	if n := sc.heap.pushes + sc.ssHeap.pushes; n != 0 {
-		obsHeapPushes.Add(n)
+	heapPushes := sc.heap.pushes + sc.ssHeap.pushes
+	if heapPushes != 0 {
+		obsHeapPushes.Add(heapPushes)
 	}
 	if n := sc.heap.pops + sc.ssHeap.pops; n != 0 {
 		obsHeapPops.Add(n)
@@ -75,6 +126,23 @@ func (sc *scratch) flushObs(idx Index, st *Stats) {
 	if sc.list.deferMerges != 0 {
 		obsDeferMerges.Add(sc.list.deferMerges)
 		obsDeferItems.Add(sc.list.deferItems)
+	}
+
+	if !start.IsZero() {
+		lat := time.Since(start).Nanoseconds()
+		searchLatency[sub][algo].RecordShard(sc.shard, lat)
+		obs.Flight.Record(obs.FlightSample{
+			WhenUnixNs: start.UnixNano(),
+			LatencyNs:  lat,
+			Substrate:  flightSub[sub],
+			Algo:       flightAlgo[algo],
+			K:          k,
+			Nodes:      uint64(st.NodesVisited),
+			Items:      uint64(st.Items),
+			DomChecks:  uint64(st.DomChecks),
+			Pruned:     uint64(st.Pruned),
+			HeapPushes: heapPushes,
+		})
 	}
 	sc.clearObsTallies()
 

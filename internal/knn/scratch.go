@@ -3,6 +3,7 @@ package knn
 import (
 	"sync"
 
+	"hyperdom/internal/obs"
 	"hyperdom/internal/sstree"
 )
 
@@ -36,6 +37,12 @@ type scratch struct {
 	// dfExpansions tallies children expanded by the depth-first
 	// traversals this search (plain add; drained by flushObs).
 	dfExpansions uint64
+
+	// shard is this scratch's stable latency-histogram shard, assigned
+	// round-robin at allocation. A scratch is owned by one goroutine per
+	// search, so recording through it stripes concurrent workers across
+	// the histogram's cache lines.
+	shard int
 }
 
 // resetTraversal empties the traversal buffers before a search. The DF
@@ -53,7 +60,7 @@ func (sc *scratch) resetTraversal() {
 	sc.ssHeap.dists = sc.ssHeap.dists[:0]
 }
 
-var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+var scratchPool = sync.Pool{New: func() any { return &scratch{shard: obs.NextShard()} }}
 
 func getScratch() *scratch { return scratchPool.Get().(*scratch) }
 

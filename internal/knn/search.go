@@ -2,6 +2,7 @@ package knn
 
 import (
 	"fmt"
+	"time"
 
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/geom"
@@ -71,6 +72,13 @@ func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Crite
 	if k <= 0 {
 		panic(fmt.Sprintf("knn: k = %d", k))
 	}
+	// One clock read per search when instrumentation is on: the delta feeds
+	// the per-(substrate, strategy) latency histogram and the flight
+	// recorder at the same flush point as the work counters.
+	var start time.Time
+	if obs.On() {
+		start = time.Now()
+	}
 	res := Result{K: k}
 	sc.resetTraversal()
 	l := &sc.list
@@ -90,7 +98,7 @@ func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Crite
 		}
 		res.Items = l.finish()
 		if obs.On() {
-			sc.flushObs(idx, &res.Stats)
+			sc.flushObs(idx, algo, k, start, &res.Stats)
 		}
 		return res
 	}
@@ -108,7 +116,7 @@ func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Crite
 	}
 	res.Items = l.finish()
 	if obs.On() {
-		sc.flushObs(idx, &res.Stats)
+		sc.flushObs(idx, algo, k, start, &res.Stats)
 	}
 	return res
 }

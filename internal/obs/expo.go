@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The exposition server (ISSUE 3): obs.Handler serves every observability
+// surface of the process over HTTP —
+//
+//	/metrics     counters and histogram buckets in Prometheus text format
+//	/debug/slow  the flight recorder's slowest-queries dump as JSON
+//	/debug/vars  the expvar export (including the "hyperdom" snapshot)
+//	/debug/pprof the runtime profiler endpoints
+//
+// Metric names follow the hyperdom_* convention: the registry name with
+// every non-alphanumeric rune mapped to '_' behind a "hyperdom_" prefix,
+// and histogram families suffixed "_seconds" with nanosecond bounds
+// converted to seconds, per Prometheus base-unit convention.
+
+// promName sanitizes a registry name into a Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + len("hyperdom_"))
+	b.WriteString("hyperdom_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteMetrics writes the whole registry — counters first, then histogram
+// families — in Prometheus text exposition format.
+func WriteMetrics(w io.Writer) error {
+	snap := Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap[name]); err != nil {
+			return err
+		}
+	}
+
+	var family string
+	for _, h := range Histograms() {
+		pn := promName(h.Name()) + "_seconds"
+		if pn != family {
+			family = pn
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+				return err
+			}
+		}
+		if err := writeHistogram(w, pn, h.Labels(), h.Snap()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram writes one labeled histogram instance: cumulative
+// _bucket lines for every non-empty bucket boundary plus +Inf, then _sum
+// and _count. Bounds are emitted in seconds.
+func writeHistogram(w io.Writer, pn, labels string, s HistSnap) error {
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := strconv.FormatFloat(float64(histLower(i+1))/1e9, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", pn, joinLabels(labels), le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", pn, joinLabels(labels), s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n",
+		pn, labels, float64(s.Sum)/1e9, pn, labels, s.Count); err != nil {
+		return err
+	}
+	return nil
+}
+
+// joinLabels returns labels ready to precede another pair inside braces.
+func joinLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// Handler returns the observability mux described above. Mount it on any
+// server, or let Serve run it on a dedicated listener.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(Flight.Dump()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The query flight recorder (ISSUE 3) retains the K slowest recent queries
+// so a tail-latency spike can be explained after the fact: each record
+// carries the query's latency, substrate, k and the per-query counter
+// diffs the traversal tallied. The ring is fixed-size and lock-free on the
+// record path — admission costs one atomic load for the fast (not slow
+// enough) case, and a bounded scan plus a seqlock-versioned slot write for
+// admitted queries. It is deliberately lossy: two concurrent admissions
+// may target the same slot, and the last writer wins; readers skip slots
+// whose version moved mid-read. See DESIGN.md §9.
+
+// FlightSlots is the ring capacity: how many slow queries the recorder
+// retains.
+const FlightSlots = 64
+
+// LabelID is an interned label (substrate or algorithm name) for the
+// flight recorder's record path, which cannot afford a string table lookup
+// per query. Intern once at package init with FlightLabel.
+type LabelID uint32
+
+// flightLabels is the process-wide label intern table. ID 0 is reserved
+// for the empty string so zero-valued samples read back cleanly.
+var flightLabels struct {
+	mu    sync.RWMutex
+	names []string
+	ids   map[string]LabelID
+}
+
+func init() {
+	flightLabels.names = []string{""}
+	flightLabels.ids = map[string]LabelID{"": 0}
+}
+
+// FlightLabel interns name and returns its ID. Call once per distinct
+// label at init time and cache the result; the record path only stores the
+// uint32.
+func FlightLabel(name string) LabelID {
+	flightLabels.mu.RLock()
+	id, ok := flightLabels.ids[name]
+	flightLabels.mu.RUnlock()
+	if ok {
+		return id
+	}
+	flightLabels.mu.Lock()
+	defer flightLabels.mu.Unlock()
+	if id, ok := flightLabels.ids[name]; ok {
+		return id
+	}
+	id = LabelID(len(flightLabels.names))
+	flightLabels.names = append(flightLabels.names, name)
+	flightLabels.ids[name] = id
+	return id
+}
+
+// labelName resolves an interned ID; unknown IDs resolve to "".
+func labelName(id LabelID) string {
+	flightLabels.mu.RLock()
+	defer flightLabels.mu.RUnlock()
+	if int(id) < len(flightLabels.names) {
+		return flightLabels.names[id]
+	}
+	return ""
+}
+
+// FlightSample is one query's record-path payload. All fields are plain
+// scalars (labels pre-interned) so Record performs no allocation.
+type FlightSample struct {
+	WhenUnixNs int64
+	LatencyNs  int64
+	Substrate  LabelID
+	Algo       LabelID
+	K          int
+	Nodes      uint64
+	Items      uint64
+	DomChecks  uint64
+	Pruned     uint64
+	HeapPushes uint64
+}
+
+// FlightRecord is the reader-facing form of a retained query, as served by
+// /debug/slow.
+type FlightRecord struct {
+	WhenUnixNs int64  `json:"when_unix_ns"`
+	LatencyNs  int64  `json:"latency_ns"`
+	Substrate  string `json:"substrate"`
+	Algo       string `json:"algo"`
+	K          int    `json:"k"`
+	Nodes      uint64 `json:"nodes_visited"`
+	Items      uint64 `json:"items_scanned"`
+	DomChecks  uint64 `json:"dom_checks"`
+	Pruned     uint64 `json:"pruned"`
+	HeapPushes uint64 `json:"heap_pushes"`
+}
+
+// flightSlot is one ring entry. Every field is individually atomic — the
+// seqlock makes reads consistent, and the atomics keep racing last-writer
+// overwrites well-defined (and race-detector clean). seq is even when the
+// slot is stable, odd while a write is in flight, 0 when never written.
+type flightSlot struct {
+	seq  atomic.Uint64
+	lat  atomic.Int64
+	when atomic.Int64
+	sub  atomic.Uint32
+	algo atomic.Uint32
+	k    atomic.Int64
+
+	nodes, items, domChecks, pruned, heapPushes atomic.Uint64
+}
+
+// FlightRecorder retains the slowest recent queries in a fixed ring.
+// The zero value is ready to use.
+type FlightRecorder struct {
+	slots [FlightSlots]flightSlot
+	// floor caches the smallest retained latency, so queries that cannot
+	// displace anything pay a single atomic load. It may lag the true
+	// minimum (admission is racy); the slot scan re-checks.
+	floor atomic.Int64
+}
+
+// Flight is the process-wide flight recorder every instrumented query
+// layer records into; /debug/slow serves its dump.
+var Flight = &FlightRecorder{}
+
+// Record offers one query to the ring. Queries no slower than every
+// retained entry return after one atomic load; a slower query overwrites
+// the currently fastest slot (last-writer-wins under races).
+func (f *FlightRecorder) Record(s FlightSample) {
+	if s.LatencyNs <= f.floor.Load() {
+		return
+	}
+	mi, ml := 0, int64(math.MaxInt64)
+	for i := range f.slots {
+		if l := f.slots[i].lat.Load(); l < ml {
+			mi, ml = i, l
+			if l == 0 {
+				break // empty slot: admit immediately
+			}
+		}
+	}
+	if s.LatencyNs <= ml {
+		f.floor.Store(ml) // stale floor; refresh and drop
+		return
+	}
+	sl := &f.slots[mi]
+	sl.seq.Add(1) // odd: write in progress
+	sl.lat.Store(s.LatencyNs)
+	sl.when.Store(s.WhenUnixNs)
+	sl.sub.Store(uint32(s.Substrate))
+	sl.algo.Store(uint32(s.Algo))
+	sl.k.Store(int64(s.K))
+	sl.nodes.Store(s.Nodes)
+	sl.items.Store(s.Items)
+	sl.domChecks.Store(s.DomChecks)
+	sl.pruned.Store(s.Pruned)
+	sl.heapPushes.Store(s.HeapPushes)
+	sl.seq.Add(1) // even: stable
+	// Refresh the admission floor from the post-write ring. Concurrent
+	// writers may leave it slightly stale in either direction; that only
+	// costs a spurious scan or drop, never a torn record.
+	ml = int64(math.MaxInt64)
+	for i := range f.slots {
+		if l := f.slots[i].lat.Load(); l < ml {
+			ml = l
+		}
+	}
+	f.floor.Store(ml)
+}
+
+// Dump returns the retained queries sorted by descending latency. Slots
+// being overwritten mid-read are retried a few times and then skipped —
+// the dump is a diagnostic view, not an audit log.
+func (f *FlightRecorder) Dump() []FlightRecord {
+	out := make([]FlightRecord, 0, FlightSlots)
+	for i := range f.slots {
+		sl := &f.slots[i]
+		for attempt := 0; attempt < 3; attempt++ {
+			v1 := sl.seq.Load()
+			if v1 == 0 { // never written
+				break
+			}
+			if v1&1 == 1 { // write in flight
+				continue
+			}
+			rec := FlightRecord{
+				LatencyNs:  sl.lat.Load(),
+				WhenUnixNs: sl.when.Load(),
+				Substrate:  labelName(LabelID(sl.sub.Load())),
+				Algo:       labelName(LabelID(sl.algo.Load())),
+				K:          int(sl.k.Load()),
+				Nodes:      sl.nodes.Load(),
+				Items:      sl.items.Load(),
+				DomChecks:  sl.domChecks.Load(),
+				Pruned:     sl.pruned.Load(),
+				HeapPushes: sl.heapPushes.Load(),
+			}
+			if sl.seq.Load() != v1 {
+				continue
+			}
+			out = append(out, rec)
+			break
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].LatencyNs != out[b].LatencyNs {
+			return out[a].LatencyNs > out[b].LatencyNs
+		}
+		return out[a].WhenUnixNs > out[b].WhenUnixNs
+	})
+	return out
+}
+
+// Reset empties the ring. Like ResetForTest, not linearizable against
+// concurrent recorders.
+func (f *FlightRecorder) Reset() {
+	for i := range f.slots {
+		sl := &f.slots[i]
+		sl.seq.Add(1)
+		sl.lat.Store(0)
+		sl.when.Store(0)
+		sl.sub.Store(0)
+		sl.algo.Store(0)
+		sl.k.Store(0)
+		sl.nodes.Store(0)
+		sl.items.Store(0)
+		sl.domChecks.Store(0)
+		sl.pruned.Store(0)
+		sl.heapPushes.Store(0)
+		sl.seq.Store(0)
+	}
+	f.floor.Store(0)
+}

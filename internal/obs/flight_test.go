@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFlightAdmitAndReplace fills a fresh ring past capacity and checks the
+// replace-minimum policy: the retained set is exactly the FlightSlots
+// slowest samples, dumped in descending latency order.
+func TestFlightAdmitAndReplace(t *testing.T) {
+	var f FlightRecorder
+	sub := FlightLabel("test-substrate")
+	algo := FlightLabel("test-algo")
+	// 2×FlightSlots samples with distinct latencies 1..128, offered in an
+	// interleaved order so slow ones arrive both before and after fast ones.
+	n := 2 * FlightSlots
+	for i := 0; i < n; i++ {
+		lat := int64(((i * 37) % n) + 1)
+		f.Record(FlightSample{
+			WhenUnixNs: lat, LatencyNs: lat,
+			Substrate: sub, Algo: algo, K: int(lat),
+			Nodes: uint64(lat), Items: uint64(2 * lat),
+			DomChecks: uint64(3 * lat), Pruned: uint64(4 * lat),
+			HeapPushes: uint64(5 * lat),
+		})
+	}
+	dump := f.Dump()
+	if len(dump) != FlightSlots {
+		t.Fatalf("ring holds %d records, want %d", len(dump), FlightSlots)
+	}
+	for i, r := range dump {
+		want := int64(n - i) // slowest FlightSlots are n, n-1, ..., n-FlightSlots+1
+		if r.LatencyNs != want {
+			t.Errorf("dump[%d].LatencyNs = %d, want %d", i, r.LatencyNs, want)
+		}
+		if r.Substrate != "test-substrate" || r.Algo != "test-algo" {
+			t.Errorf("dump[%d] labels = (%q, %q), want interned names", i, r.Substrate, r.Algo)
+		}
+		lat := uint64(r.LatencyNs)
+		if r.K != int(lat) || r.Nodes != lat || r.Items != 2*lat ||
+			r.DomChecks != 3*lat || r.Pruned != 4*lat || r.HeapPushes != 5*lat {
+			t.Errorf("dump[%d] counter diffs do not match the sample: %+v", i, r)
+		}
+	}
+	// A sample no slower than the retained minimum must be rejected on the
+	// fast path and must not disturb the ring.
+	f.Record(FlightSample{LatencyNs: int64(n - FlightSlots)})
+	if again := f.Dump(); len(again) != FlightSlots || again[FlightSlots-1].LatencyNs != int64(n-FlightSlots+1) {
+		t.Error("rejected sample disturbed the ring")
+	}
+}
+
+// TestFlightReset empties the ring and reopens admission.
+func TestFlightReset(t *testing.T) {
+	var f FlightRecorder
+	f.Record(FlightSample{LatencyNs: 100})
+	f.Reset()
+	if dump := f.Dump(); len(dump) != 0 {
+		t.Fatalf("ring holds %d records after Reset, want 0", len(dump))
+	}
+	f.Record(FlightSample{LatencyNs: 5})
+	if dump := f.Dump(); len(dump) != 1 || dump[0].LatencyNs != 5 {
+		t.Error("ring does not admit after Reset")
+	}
+}
+
+// TestFlightRecordAllocs keeps the record path allocation-free, both for
+// the fast rejection and for an admitted overwrite.
+func TestFlightRecordAllocs(t *testing.T) {
+	var f FlightRecorder
+	for i := 0; i < FlightSlots; i++ {
+		f.Record(FlightSample{LatencyNs: 1000 + int64(i)})
+	}
+	reject := FlightSample{LatencyNs: 1}
+	if allocs := testing.AllocsPerRun(100, func() { f.Record(reject) }); allocs != 0 {
+		t.Errorf("fast-path Record allocates %.1f times per call, want 0", allocs)
+	}
+	var admitLat int64 = 10000
+	if allocs := testing.AllocsPerRun(100, func() {
+		admitLat++
+		f.Record(FlightSample{LatencyNs: admitLat})
+	}); allocs != 0 {
+		t.Errorf("admitting Record allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestFlightConcurrent races recorders against dumpers. The ring is
+// deliberately lossy, so the only hard guarantees are: no torn records
+// (every dumped latency is one that was actually offered) and a full ring
+// at the end. Under -race this also proves the seqlock discipline is clean.
+func TestFlightConcurrent(t *testing.T) {
+	var f FlightRecorder
+	const workers, per = 8, 2000
+	offered := func(lat int64) bool { return lat >= 1 && lat <= workers*per }
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, r := range f.Dump() {
+					if !offered(r.LatencyNs) {
+						t.Errorf("dump returned latency %d that was never offered", r.LatencyNs)
+						return
+					}
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Record(FlightSample{LatencyNs: int64(w*per + i + 1), K: w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	dump := f.Dump()
+	if len(dump) != FlightSlots {
+		t.Fatalf("ring holds %d records after concurrent filling, want %d", len(dump), FlightSlots)
+	}
+	for _, r := range dump {
+		if !offered(r.LatencyNs) {
+			t.Errorf("retained latency %d was never offered", r.LatencyNs)
+		}
+	}
+	// The slowest sample overall can never be displaced, racy or not.
+	if dump[0].LatencyNs != workers*per {
+		t.Errorf("slowest retained latency = %d, want %d", dump[0].LatencyNs, workers*per)
+	}
+}
+
+// TestFlightLabelIntern pins the intern table: stable IDs, zero = empty.
+func TestFlightLabelIntern(t *testing.T) {
+	if id := FlightLabel(""); id != 0 {
+		t.Errorf(`FlightLabel("") = %d, want 0`, id)
+	}
+	a := FlightLabel("test-intern-a")
+	if FlightLabel("test-intern-a") != a {
+		t.Error("re-interning returned a different ID")
+	}
+	if got := labelName(a); got != "test-intern-a" {
+		t.Errorf("labelName round-trip = %q", got)
+	}
+	if got := labelName(LabelID(1 << 30)); got != "" {
+		t.Errorf("unknown LabelID resolved to %q, want empty", got)
+	}
+}

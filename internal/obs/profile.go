@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux too
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 )
 
 // StartCPUProfile starts a CPU profile into path and returns the function
@@ -43,27 +45,30 @@ func WriteHeapProfile(path string) error {
 	return f.Close()
 }
 
-// Serve starts an HTTP server on addr exposing net/http/pprof under
-// /debug/pprof/ and the expvar counter export (including the "hyperdom"
-// snapshot) under /debug/vars. It returns the bound address — pass
-// "localhost:0" for an ephemeral port. The server runs until the process
-// exits.
+// Serve starts an HTTP server on addr exposing the full observability mux
+// of Handler: /metrics (Prometheus text), /debug/slow (flight recorder),
+// /debug/vars (expvar, including the "hyperdom" snapshot) and
+// /debug/pprof. It returns the bound address — pass "localhost:0" for an
+// ephemeral port. The server runs until the process exits.
 func Serve(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	go http.Serve(ln, nil) //nolint:errcheck — runs for the process lifetime
+	go http.Serve(ln, Handler()) //nolint:errcheck — runs for the process lifetime
 	return ln.Addr().String(), nil
 }
 
-// ProfileFlags is the shared -pprof/-cpuprofile/-memprofile/-metrics flag
-// set of the benchmark commands.
+// ProfileFlags is the shared -serve/-pprof/-cpuprofile/-memprofile/-metrics
+// flag set of the benchmark commands.
 type ProfileFlags struct {
 	CPUProfile string
 	MemProfile string
 	PprofAddr  string
+	ServeAddr  string
 	Metrics    bool
+
+	boundServe string // the address -serve actually bound (ephemeral ports)
 }
 
 // RegisterFlags installs the profiling flags on fs and returns the
@@ -73,7 +78,10 @@ func RegisterFlags(fs *flag.FlagSet) *ProfileFlags {
 	fs.StringVar(&pf.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
 	fs.StringVar(&pf.MemProfile, "memprofile", "", "write a heap profile to `file` on exit")
 	fs.StringVar(&pf.PprofAddr, "pprof", "", "serve /debug/pprof and /debug/vars on `addr` (e.g. localhost:6060)")
-	fs.BoolVar(&pf.Metrics, "metrics", false, "print the obs counter snapshot on exit")
+	fs.StringVar(&pf.ServeAddr, "serve", "",
+		"serve /metrics, /debug/slow, /debug/vars and /debug/pprof on `addr`; keeps serving after the run until interrupted")
+	fs.BoolVar(&pf.Metrics, "metrics", false,
+		"print the obs counter snapshot on exit; in the figure runners this also re-enables counters for each figure and prints a per-figure diff")
 	return pf
 }
 
@@ -81,12 +89,15 @@ func RegisterFlags(fs *flag.FlagSet) *ProfileFlags {
 // that disable counters by default for timing fidelity re-enable them when
 // it returns true.
 func (pf *ProfileFlags) Wanted() bool {
-	return pf.Metrics || pf.PprofAddr != "" || pf.CPUProfile != "" || pf.MemProfile != ""
+	return pf.Metrics || pf.PprofAddr != "" || pf.ServeAddr != "" || pf.CPUProfile != "" || pf.MemProfile != ""
 }
 
 // Start begins whatever profiling the flags request and returns the
 // function to run at exit (stop the CPU profile, dump the heap profile,
-// print the metrics snapshot). The returned stop is never nil.
+// print the metrics snapshot). The returned stop is never nil. When -serve
+// was given, stop keeps the process alive serving the observability mux
+// until SIGINT/SIGTERM, so `cmd -serve addr` stays inspectable after its
+// run finishes.
 func (pf *ProfileFlags) Start() (stop func(), err error) {
 	var stopCPU func() error
 	if pf.CPUProfile != "" {
@@ -105,6 +116,17 @@ func (pf *ProfileFlags) Start() (stop func(), err error) {
 		}
 		fmt.Fprintf(os.Stderr, "obs: serving pprof + expvar on http://%s/debug/pprof/\n", addr)
 	}
+	if pf.ServeAddr != "" {
+		addr, err := Serve(pf.ServeAddr)
+		if err != nil {
+			if stopCPU != nil {
+				stopCPU() //nolint:errcheck
+			}
+			return nil, err
+		}
+		pf.boundServe = addr
+		fmt.Fprintf(os.Stderr, "obs: serving metrics on http://%s/metrics\n", addr)
+	}
 	return func() {
 		if stopCPU != nil {
 			if err := stopCPU(); err != nil {
@@ -118,6 +140,12 @@ func (pf *ProfileFlags) Start() (stop func(), err error) {
 		}
 		if pf.Metrics {
 			Snapshot().Fprint(os.Stderr)
+		}
+		if pf.boundServe != "" {
+			fmt.Fprintf(os.Stderr, "obs: still serving on http://%s/metrics — Ctrl-C to exit\n", pf.boundServe)
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+			<-ch
 		}
 	}, nil
 }

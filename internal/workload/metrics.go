@@ -20,6 +20,16 @@ var (
 	obsTimingRuns    = obs.New("workload.timing_runs")
 )
 
+// Batch- and worker-level latency histograms (ISSUE 3). One sample per
+// whole batch and one per worker chunk — never per triple, so the
+// accounting cost stays amortized over thousands of criterion calls.
+var (
+	histSerialBatch = obs.NewHistogram("workload.batch_latency", `path="serial"`)
+	histParBatch    = obs.NewHistogram("workload.batch_latency", `path="parallel"`)
+	histChunk       = obs.NewHistogram("workload.chunk_latency", `path="generic"`)
+	histPrepChunk   = obs.NewHistogram("workload.chunk_latency", `path="prepared"`)
+)
+
 // tallyBatch records one evaluated workload batch for the given criterion.
 func tallyBatch(c dominance.Criterion, n int, batches *obs.Counter) {
 	if !obs.On() || n == 0 {

@@ -39,12 +39,14 @@ func VerdictsParallel(c dominance.Criterion, w []Triple, workers int) []bool {
 	if len(w) == 0 {
 		return out
 	}
+	sw := obs.StartTimer()
 	tallyBatch(c, len(w), obsParBatches)
 	if obs.On() {
 		obsWorkers.Add(uint64(workers))
 	}
 	if _, ok := c.(dominance.Hyperbola); ok {
 		verdictsPrepared(w, out, workers)
+		sw.Stop(histParBatch)
 		return out
 	}
 	var wg sync.WaitGroup
@@ -57,12 +59,15 @@ func VerdictsParallel(c dominance.Criterion, w []Triple, workers int) []bool {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			csw := obs.StartTimer()
 			for i := lo; i < hi; i++ {
 				out[i] = c.Dominates(w[i].A, w[i].B, w[i].Q)
 			}
+			csw.Stop(histChunk)
 		}(start, end)
 	}
 	wg.Wait()
+	sw.Stop(histParBatch)
 	return out
 }
 
@@ -88,6 +93,7 @@ func verdictsPrepared(w []Triple, out []bool, workers int) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			csw := obs.StartTimer()
 			var pp dominance.PreparedPair
 			var groups uint64
 			for s := lo; s < hi; s++ {
@@ -106,6 +112,7 @@ func verdictsPrepared(w []Triple, out []bool, workers int) {
 				obsPrepShared.Add(uint64(hi-lo) - groups)
 			}
 			pp.FlushObs()
+			csw.Stop(histPrepChunk)
 		}(start, end)
 	}
 	wg.Wait()
