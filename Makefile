@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short bench bench-all fuzz experiments examples serve cover clean
+.PHONY: all build check test test-short bench bench-all fuzz experiments examples serve trace cover clean
 
 all: build check
 
@@ -51,6 +51,12 @@ experiments:
 serve:
 	$(GO) run ./cmd/knnbench -serve :6060 -metrics
 
+# Record per-query execution traces from a Fig 13 run into trace.json —
+# load it in chrome://tracing or https://ui.perfetto.dev. See README
+# "Tracing a slow query".
+trace:
+	$(GO) run ./cmd/knnbench -fig 13 -scale 0.01 -trace trace.json -trace-every 8
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/uncertain_gis
@@ -63,4 +69,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -20
 
 clean:
-	rm -f cover.out
+	rm -f cover.out trace.json

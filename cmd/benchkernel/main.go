@@ -18,6 +18,11 @@
 //
 //	benchkernel [-o BENCH_knn.json]
 //	benchkernel -gate BENCH_knn.json -min-speedup 1.3   # CI sanity gate
+//	benchkernel -trace trace.json                       # export query traces
+//
+// The shared observability flags apply: with -trace the counter-enabled
+// metrics pass samples its searches for execution tracing and the retained
+// traces are exported as Chrome trace_event JSON on exit (DESIGN.md §10).
 package main
 
 import (

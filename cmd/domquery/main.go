@@ -16,7 +16,11 @@
 // The shared observability flags are available too: `domquery -serve :6060`
 // answers the query and then keeps serving /metrics, /debug/slow and
 // /debug/pprof until interrupted, so the criterion counters the query moved
-// can be inspected.
+// can be inspected. With `-trace out.json` the query's criterion-by-
+// criterion evaluation is recorded as an execution trace — one DomCheck
+// event per criterion plus a shadow-disagreement event wherever a cheap
+// criterion contradicts Hyperbola — and exported as Chrome trace_event
+// JSON.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"hyperdom"
 	"hyperdom/internal/obs"
@@ -71,15 +76,20 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	if err := run(r, os.Stdout); err != nil {
+	var tb *obs.TraceBuf
+	if obs.TraceEnabled() {
+		tb = &obs.TraceBuf{}
+	}
+	if err := run(r, os.Stdout, tb); err != nil {
 		fatal("%v", err)
 	}
 	stop()
 }
 
 // run decodes one query from r, evaluates it and writes the JSON result to
-// w. Extracted from main so the full pipeline is unit-testable.
-func run(r io.Reader, w io.Writer) error {
+// w, recording the evaluation into tb (may be nil) for -trace. Extracted
+// from main so the full pipeline is unit-testable.
+func run(r io.Reader, w io.Writer, tb *obs.TraceBuf) error {
 	var q queryJSON
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -102,11 +112,36 @@ func run(r io.Reader, w io.Writer) error {
 	sb := hyperdom.NewSphere(q.Sb.Center, q.Sb.Radius)
 	sq := hyperdom.NewSphere(q.Sq.Center, q.Sq.Radius)
 
+	start := time.Now()
+	if tb != nil {
+		tb.Begin(start)
+	}
 	res := resultJSON{Verdicts: map[string]bool{}}
 	for _, c := range hyperdom.Criteria() {
-		res.Verdicts[c.Name()] = c.Dominates(sa, sb, sq)
+		v := c.Dominates(sa, sb, sq)
+		res.Verdicts[c.Name()] = v
+		if tb != nil {
+			tb.DomCheck(0, obs.FlightLabel(c.Name()), -1, v, 0)
+		}
 	}
 	res.Dominates = res.Verdicts["Hyperbola"]
+	if tb != nil {
+		for name, v := range res.Verdicts {
+			if name != "Hyperbola" && v != res.Dominates {
+				tb.Shadow(obs.FlightLabel(name), v, res.Dominates)
+			}
+		}
+		lat := time.Since(start).Nanoseconds()
+		qt := tb.Finish(obs.FlightLabel("domquery"), obs.FlightLabel("criteria"), 0, start.UnixNano(), lat)
+		obs.Flight.Record(obs.FlightSample{
+			WhenUnixNs: start.UnixNano(),
+			LatencyNs:  lat,
+			Substrate:  qt.Substrate,
+			Algo:       qt.Algo,
+			DomChecks:  uint64(len(res.Verdicts)),
+			Trace:      qt,
+		})
+	}
 	if !res.Dominates {
 		if wit := hyperdom.FindWitness(sa, sb, sq, 2048); wit != nil {
 			res.Witness = &witnessJSON{Q: wit.Q, Margin: wit.Margin}

@@ -11,6 +11,12 @@
 //	-scale  dataset/query scale relative to the paper's (default 0.02;
 //	        1.0 reproduces the full cardinalities — budget hours)
 //	-seed   RNG seed (default 1)
+//	-shadow audit every dominance check against Hyperbola and count
+//	        per-criterion disagreements (Table 1 in vivo; slows checks)
+//
+// The shared observability flags apply as well; in particular
+// `-trace out.json` samples searches for execution tracing and exports the
+// retained traces as Chrome trace_event JSON on exit (see DESIGN.md §10).
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"hyperdom/internal/dominance"
 	"hyperdom/internal/experiments"
 	"hyperdom/internal/obs"
 )
@@ -26,8 +33,14 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to run (13-16, 0 = all)")
 	scale := flag.Float64("scale", 0.02, "workload scale relative to the paper")
 	seed := flag.Int64("seed", 1, "random seed")
+	shadow := flag.Bool("shadow", false,
+		"shadow-evaluate every dominance check against Hyperbola and count per-criterion disagreements")
 	pf := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *shadow {
+		dominance.SetShadow(true)
+	}
 
 	// Figure timings must stay comparable to the paper's, so the counter
 	// gate stays off unless observability output was actually asked for.

@@ -116,6 +116,13 @@ func (p *PreparedPair) Reset(sa, sb geom.Sphere) {
 // constantly false and callers can skip the per-query work entirely.
 func (p *PreparedPair) Overlaps() bool { return p.overlap }
 
+// QuarticSolves returns the pair's locally tallied quartic-solve count
+// since its last obs flush. Execution tracing reads it before and after a
+// check to attribute solves to individual spans; the difference is only
+// meaningful across a window with no intervening flush (windows of up to
+// obsFlushEvery queries), so callers must treat a decrease as zero.
+func (p *PreparedPair) QuarticSolves() uint64 { return p.tally.quartics }
+
 // DominatesBatch evaluates the pair's verdict for every query sphere,
 // writing out[i] = p.Dominates(qs[i]). Verdicts are bit-identical to the
 // one-at-a-time path; the whole sweep is timed with a single clock-read

@@ -163,6 +163,15 @@ type bestList struct {
 	deferred []entry
 	stats    *Stats
 
+	// Execution tracing and shadow evaluation (ISSUE 4). tb is non-nil only
+	// while the owning search is sampled for tracing; critLabel is the
+	// criterion's interned name for DomCheck spans. shadow mirrors
+	// dominance.ShadowOn at reset time so the per-check branch is a plain
+	// bool load.
+	tb        *obs.TraceBuf
+	critLabel obs.LabelID
+	shadow    bool
+
 	// Scratch-local observability tallies: finish() merge passes that had
 	// deferred candidates to fold back in, and how many. Drained per
 	// search by scratch.flushObs.
@@ -186,6 +195,9 @@ func (l *bestList) reset(sq geom.Sphere, k int, crit dominance.Criterion, stats 
 	l.stats = stats
 	l.entries = l.entries[:0]
 	l.deferred = l.deferred[:0]
+	l.tb = nil
+	l.critLabel = 0
+	l.shadow = dominance.ShadowOn()
 }
 
 // dominates runs one criterion check of the search. With the Hyperbola
@@ -198,6 +210,50 @@ func (l *bestList) dominates(sa, sb geom.Sphere) bool {
 		return l.pp.Dominates(l.sq)
 	}
 	return l.crit.Dominates(sa, sb, l.sq)
+}
+
+// check is the audited form of dominates: it owns the DomChecks count for
+// its call site, routes through shadow evaluation when enabled (the
+// returned verdict is always the primary criterion's), and emits a DomCheck
+// span — with the check's quartic-solve cost on the Hyperbola path — when
+// the search is traced.
+func (l *bestList) check(phase uint8, sa, sb geom.Sphere, itemID int) bool {
+	l.stats.DomChecks++
+	if l.shadow {
+		v := dominance.ShadowAudit(l.crit, sa, sb, l.sq, l.tb)
+		if l.tb != nil {
+			l.tb.DomCheck(phase, l.critLabel, int64(itemID), v, 0)
+		}
+		return v
+	}
+	if l.tb == nil {
+		return l.dominates(sa, sb)
+	}
+	var q0 uint64
+	if l.hyp {
+		q0 = l.pp.QuarticSolves()
+	}
+	v := l.dominates(sa, sb)
+	var dq uint64
+	if l.hyp {
+		// The tally auto-flushes every obsFlushEvery queries; a wrapped
+		// window reads as zero rather than garbage.
+		if q := l.pp.QuarticSolves(); q > q0 {
+			dq = q - q0
+		}
+	}
+	l.tb.DomCheck(phase, l.critLabel, int64(itemID), v, dq)
+	return v
+}
+
+// notePrune owns the Pruned count for its call site and emits the matching
+// ItemPrune span when the search is traced — span counts and the knn.pruned
+// counter stay exactly equal by construction.
+func (l *bestList) notePrune(phase uint8, e entry) {
+	l.stats.Pruned++
+	if l.tb != nil {
+		l.tb.ItemPrune(phase, int64(e.item.ID), e.minDist)
+	}
 }
 
 // distK returns the k-th smallest MaxDist in L, or +Inf while L holds fewer
@@ -245,16 +301,15 @@ func (l *bestList) offer(it Item) {
 		l.evictDominated()
 	case e.minDist <= dk:
 		// Case 2: the k-th candidate may or may not dominate it (Lemma 10).
-		l.stats.DomChecks++
-		if l.dominates(l.sk().Sphere, it.Sphere) {
-			l.stats.Pruned++
+		if l.check(obs.PhaseCase2, l.sk().Sphere, it.Sphere, it.ID) {
+			l.notePrune(obs.PhaseCase2, e)
 			l.deferred = append(l.deferred, e)
 			return
 		}
 		l.add(e)
 	default:
 		// Case 3: Lemma 9 — MinMax-provably dominated.
-		l.stats.Pruned++
+		l.notePrune(obs.PhaseCase3, e)
 	}
 }
 
@@ -265,9 +320,8 @@ func (l *bestList) evictDominated() {
 	sk := l.sk()
 	kept := l.entries[:0]
 	for _, e := range l.entries {
-		l.stats.DomChecks++
-		if l.dominates(sk.Sphere, e.item.Sphere) {
-			l.stats.Pruned++
+		if l.check(obs.PhaseEvict, sk.Sphere, e.item.Sphere, e.item.ID) {
+			l.notePrune(obs.PhaseEvict, e)
 			l.deferred = append(l.deferred, e)
 			continue
 		}
@@ -316,9 +370,8 @@ func (l *bestList) finish() []Item {
 			wasDeferred = true
 			j++
 		}
-		l.stats.DomChecks++
-		if l.dominates(sk.Sphere, e.item.Sphere) {
-			l.stats.Pruned++
+		if l.check(obs.PhaseFinal, sk.Sphere, e.item.Sphere, e.item.ID) {
+			l.notePrune(obs.PhaseFinal, e)
 			continue
 		}
 		if wasDeferred {

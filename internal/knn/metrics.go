@@ -131,7 +131,7 @@ func (sc *scratch) flushObs(idx Index, algo Algorithm, k int, start time.Time, s
 	if !start.IsZero() {
 		lat := time.Since(start).Nanoseconds()
 		searchLatency[sub][algo].RecordShard(sc.shard, lat)
-		obs.Flight.Record(obs.FlightSample{
+		sample := obs.FlightSample{
 			WhenUnixNs: start.UnixNano(),
 			LatencyNs:  lat,
 			Substrate:  flightSub[sub],
@@ -142,7 +142,15 @@ func (sc *scratch) flushObs(idx Index, algo Algorithm, k int, start time.Time, s
 			DomChecks:  uint64(st.DomChecks),
 			Pruned:     uint64(st.Pruned),
 			HeapPushes: heapPushes,
-		})
+		}
+		if sc.tb != nil {
+			// Freeze the sampled span tree and hand it to the ring with the
+			// counters: a trace is retained exactly as long as its query
+			// stays among the FlightSlots slowest (tail sampling).
+			sample.Trace = sc.trace.Finish(flightSub[sub], flightAlgo[algo], k, start.UnixNano(), lat)
+			sc.tb = nil
+		}
+		obs.Flight.Record(sample)
 	}
 	sc.clearObsTallies()
 

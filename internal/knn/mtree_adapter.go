@@ -24,6 +24,7 @@ type mNode struct{ n mtree.Node }
 func (n mNode) IsLeaf() bool                    { return n.n.IsLeaf() }
 func (n mNode) MinDistTo(q geom.Sphere) float64 { return geom.MinDist(n.n.Sphere(), q) }
 func (n mNode) NodeItems() []Item               { return n.n.Items() }
+func (n mNode) DebugID() uint64                 { return n.n.DebugID() }
 func (n mNode) ChildNodes(dst []IndexNode) []IndexNode {
 	for _, c := range n.n.Children() {
 		dst = append(dst, mNode{c})

@@ -27,6 +27,7 @@ func (n rNode) MinDistTo(q geom.Sphere) float64 {
 	return geom.MinDistRectSphere(n.n.Rect(), q)
 }
 func (n rNode) NodeItems() []Item { return n.n.Items() }
+func (n rNode) DebugID() uint64   { return n.n.DebugID() }
 func (n rNode) ChildNodes(dst []IndexNode) []IndexNode {
 	for _, c := range n.n.Children() {
 		dst = append(dst, rNode{c})

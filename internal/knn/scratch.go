@@ -38,6 +38,14 @@ type scratch struct {
 	// traversals this search (plain add; drained by flushObs).
 	dfExpansions uint64
 
+	// trace is the search's span buffer when this search was sampled for
+	// execution tracing (ISSUE 4); tb points at it then and is nil
+	// otherwise, so every instrumentation site pays one nil check. The
+	// buffer's span storage is reused across traced searches on this
+	// scratch; Span holds no references, so pooling it is leak-safe.
+	trace obs.TraceBuf
+	tb    *obs.TraceBuf
+
 	// shard is this scratch's stable latency-histogram shard, assigned
 	// round-robin at allocation. A scratch is owned by one goroutine per
 	// search, so recording through it stripes concurrent workers across
@@ -86,7 +94,19 @@ func putScratch(sc *scratch) {
 	sc.list.entries = clearCap(sc.list.entries)
 	sc.list.deferred = clearCap(sc.list.deferred)
 	sc.list.stats = nil
+	sc.list.tb = nil
+	// A trace begun by a search that never reached its flush (obs gate
+	// turned off mid-search) must not leak into the next search.
+	sc.cancelTrace()
 	scratchPool.Put(sc)
+}
+
+// cancelTrace abandons an in-flight trace, keeping the buffer for reuse.
+func (sc *scratch) cancelTrace() {
+	if sc.tb != nil {
+		sc.trace.Cancel()
+		sc.tb = nil
+	}
 }
 
 // clearCap zeroes s over its full capacity and returns it with length 0.

@@ -78,14 +78,25 @@ func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Crite
 	var start time.Time
 	if obs.On() {
 		start = time.Now()
+		if obs.SampleTrace() {
+			// This search records its full span tree; flushObs freezes it
+			// and offers it to the flight recorder with the counters.
+			sc.trace.Begin(start)
+			sc.tb = &sc.trace
+		}
 	}
 	res := Result{K: k}
 	sc.resetTraversal()
 	l := &sc.list
 	l.reset(sq, k, crit, &res.Stats)
+	if sc.tb != nil {
+		l.tb = sc.tb
+		l.critLabel = obs.FlightLabel(crit.Name())
+	}
 	if a, ok := idx.(ssAdapter); ok {
 		root, ok := a.t.Root()
 		if !ok {
+			sc.cancelTrace()
 			return res
 		}
 		switch algo {
@@ -104,6 +115,7 @@ func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Crite
 	}
 	root, ok := idx.RootNode()
 	if !ok {
+		sc.cancelTrace()
 		return res
 	}
 	switch algo {
@@ -127,9 +139,17 @@ func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Crite
 // frame-stacked across recursion levels.
 func (sc *scratch) searchDF(n IndexNode, sq geom.Sphere, l *bestList) {
 	l.stats.NodesVisited++
+	sp := int32(-1)
+	if tb := sc.tb; tb != nil {
+		sp = tb.StartNode(nodeID(n), n.MinDistTo(sq))
+	}
 	if n.IsLeaf() {
-		for _, it := range n.NodeItems() {
+		items := n.NodeItems()
+		for _, it := range items {
 			l.offer(it)
+		}
+		if sc.tb != nil {
+			sc.tb.EndNode(sp, 0, int32(len(items)))
 		}
 		return
 	}
@@ -145,6 +165,11 @@ func (sc *scratch) searchDF(n IndexNode, sq geom.Sphere, l *bestList) {
 	for i := 0; i < nc; i++ {
 		if sc.dists[base+i] > l.distK() {
 			// Every deeper item has MinDist ≥ this bound: Case 3 territory.
+			if tb := sc.tb; tb != nil {
+				for j := i; j < nc; j++ {
+					tb.NodePrune(nodeID(sc.stack[base+j]), sc.dists[base+j])
+				}
+			}
 			break
 		}
 		sc.searchDF(sc.stack[base+i], sq, l)
@@ -152,6 +177,21 @@ func (sc *scratch) searchDF(n IndexNode, sq geom.Sphere, l *bestList) {
 	clear(sc.stack[base : base+nc]) // drop node refs before the frame pops
 	sc.stack = sc.stack[:base]
 	sc.dists = sc.dists[:base]
+	if sc.tb != nil {
+		sc.tb.EndNode(sp, int32(nc), 0)
+	}
+}
+
+// nodeIdent is the optional node-identity hook of index cursors; the three
+// tree substrates implement it.
+type nodeIdent interface{ DebugID() uint64 }
+
+// nodeID extracts a node's trace identity, 0 when the substrate offers none.
+func nodeID(n IndexNode) uint64 {
+	if id, ok := n.(nodeIdent); ok {
+		return id.DebugID()
+	}
+	return 0
 }
 
 // growTo extends s to length n, reusing capacity.
@@ -241,12 +281,23 @@ func (sc *scratch) searchHS(root IndexNode, sq geom.Sphere, l *bestList) {
 	for h.len() > 0 {
 		n, dist := h.pop()
 		if dist > l.distK() {
+			if tb := sc.tb; tb != nil {
+				tb.NodePrune(nodeID(n), dist)
+			}
 			return
 		}
 		l.stats.NodesVisited++
+		sp := int32(-1)
+		if tb := sc.tb; tb != nil {
+			sp = tb.StartNode(nodeID(n), dist)
+		}
 		if n.IsLeaf() {
-			for _, it := range n.NodeItems() {
+			items := n.NodeItems()
+			for _, it := range items {
 				l.offer(it)
+			}
+			if sc.tb != nil {
+				sc.tb.EndNode(sp, 0, int32(len(items)))
 			}
 			continue
 		}
@@ -260,10 +311,16 @@ func (sc *scratch) searchHS(root IndexNode, sq geom.Sphere, l *bestList) {
 		for _, c := range sc.stack[base:] {
 			if d := c.MinDistTo(sq); d <= dk {
 				h.push(c, d)
+			} else if tb := sc.tb; tb != nil {
+				tb.NodePrune(nodeID(c), d)
 			}
 		}
+		nc := int32(len(sc.stack) - base)
 		clear(sc.stack[base:])
 		sc.stack = sc.stack[:base]
+		if sc.tb != nil {
+			sc.tb.EndNode(sp, nc, 0)
+		}
 	}
 }
 
@@ -287,6 +344,7 @@ type ssNode struct{ n sstree.Node }
 func (n ssNode) IsLeaf() bool                    { return n.n.IsLeaf() }
 func (n ssNode) MinDistTo(q geom.Sphere) float64 { return geom.MinDist(n.n.Sphere(), q) }
 func (n ssNode) NodeItems() []Item               { return n.n.Items() }
+func (n ssNode) DebugID() uint64                 { return n.n.DebugID() }
 func (n ssNode) ChildNodes(dst []IndexNode) []IndexNode {
 	for i, m := 0, n.n.NumChildren(); i < m; i++ {
 		dst = append(dst, ssNode{n.n.Child(i)})
@@ -298,9 +356,17 @@ func (n ssNode) ChildNodes(dst []IndexNode) []IndexNode {
 // boxing, no interface dispatch on the MinDist hot call.
 func (sc *scratch) searchDFSS(n sstree.Node, sq geom.Sphere, l *bestList) {
 	l.stats.NodesVisited++
+	sp := int32(-1)
+	if tb := sc.tb; tb != nil {
+		sp = tb.StartNode(n.DebugID(), geom.MinDist(n.Sphere(), sq))
+	}
 	if n.IsLeaf() {
-		for _, it := range n.Items() {
+		items := n.Items()
+		for _, it := range items {
 			l.offer(it)
+		}
+		if sc.tb != nil {
+			sc.tb.EndNode(sp, 0, int32(len(items)))
 		}
 		return
 	}
@@ -315,6 +381,11 @@ func (sc *scratch) searchDFSS(n sstree.Node, sq geom.Sphere, l *bestList) {
 	sortByDist(sc.ssStack[base:base+nc], sc.ssDists[base:base+nc])
 	for i := 0; i < nc; i++ {
 		if sc.ssDists[base+i] > l.distK() {
+			if tb := sc.tb; tb != nil {
+				for j := i; j < nc; j++ {
+					tb.NodePrune(sc.ssStack[base+j].DebugID(), sc.ssDists[base+j])
+				}
+			}
 			break
 		}
 		sc.searchDFSS(sc.ssStack[base+i], sq, l)
@@ -322,6 +393,9 @@ func (sc *scratch) searchDFSS(n sstree.Node, sq geom.Sphere, l *bestList) {
 	clear(sc.ssStack[base : base+nc])
 	sc.ssStack = sc.ssStack[:base]
 	sc.ssDists = sc.ssDists[:base]
+	if sc.tb != nil {
+		sc.tb.EndNode(sp, int32(nc), 0)
+	}
 }
 
 // ssHeap is nodeHeap over concrete SS-tree cursors.
@@ -393,23 +467,40 @@ func (sc *scratch) searchHSSS(root sstree.Node, sq geom.Sphere, l *bestList) {
 	for h.len() > 0 {
 		n, dist := h.pop()
 		if dist > l.distK() {
+			if tb := sc.tb; tb != nil {
+				tb.NodePrune(n.DebugID(), dist)
+			}
 			return
 		}
 		l.stats.NodesVisited++
+		sp := int32(-1)
+		if tb := sc.tb; tb != nil {
+			sp = tb.StartNode(n.DebugID(), dist)
+		}
 		if n.IsLeaf() {
-			for _, it := range n.Items() {
+			items := n.Items()
+			for _, it := range items {
 				l.offer(it)
+			}
+			if sc.tb != nil {
+				sc.tb.EndNode(sp, 0, int32(len(items)))
 			}
 			continue
 		}
 		// Invariant: distk cannot change inside this loop — it only shrinks
 		// when an item is offered, and this loop only pushes child nodes.
 		dk := l.distK()
-		for i, m := 0, n.NumChildren(); i < m; i++ {
+		m := n.NumChildren()
+		for i := 0; i < m; i++ {
 			c := n.Child(i)
 			if d := geom.MinDist(c.Sphere(), sq); d <= dk {
 				h.push(c, d)
+			} else if tb := sc.tb; tb != nil {
+				tb.NodePrune(c.DebugID(), d)
 			}
+		}
+		if sc.tb != nil {
+			sc.tb.EndNode(sp, int32(m), 0)
 		}
 	}
 }

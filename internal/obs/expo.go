@@ -17,6 +17,7 @@ import (
 //
 //	/metrics     counters and histogram buckets in Prometheus text format
 //	/debug/slow  the flight recorder's slowest-queries dump as JSON
+//	/debug/trace the retained execution traces as Chrome trace_event JSON
 //	/debug/vars  the expvar export (including the "hyperdom" snapshot)
 //	/debug/pprof the runtime profiler endpoints
 //
@@ -118,9 +119,21 @@ func Handler() http.Handler {
 	})
 	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		recs := Flight.Dump()
+		if recs == nil {
+			// Dump never returns nil today, but an empty recorder must
+			// serve [] — scrapers index into the array unconditionally.
+			recs = []FlightRecord{}
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(Flight.Dump()); err != nil {
+		if err := enc.Encode(recs); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := WriteChromeTrace(w, Flight.Traces()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

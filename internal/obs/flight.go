@@ -83,6 +83,11 @@ type FlightSample struct {
 	DomChecks  uint64
 	Pruned     uint64
 	HeapPushes uint64
+	// Trace is the query's execution trace when the search was sampled
+	// (ISSUE 4), nil otherwise. Retention is tied to ring admission: a
+	// trace lives exactly as long as its query stays among the FlightSlots
+	// slowest.
+	Trace *QueryTrace
 }
 
 // FlightRecord is the reader-facing form of a retained query, as served by
@@ -98,6 +103,10 @@ type FlightRecord struct {
 	DomChecks  uint64 `json:"dom_checks"`
 	Pruned     uint64 `json:"pruned"`
 	HeapPushes uint64 `json:"heap_pushes"`
+	// TraceID identifies the retained execution trace for this query in
+	// the /debug/trace export (the qN thread names), 0 when the query was
+	// not sampled.
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 // flightSlot is one ring entry. Every field is individually atomic — the
@@ -113,6 +122,11 @@ type flightSlot struct {
 	k    atomic.Int64
 
 	nodes, items, domChecks, pruned, heapPushes atomic.Uint64
+
+	// trace holds the slot's retained execution trace, if any. The object
+	// is immutable after Finish, so a bare atomic pointer suffices; the
+	// seqlock covers its association with the scalar fields.
+	trace atomic.Pointer[QueryTrace]
 }
 
 // FlightRecorder retains the slowest recent queries in a fixed ring.
@@ -161,6 +175,7 @@ func (f *FlightRecorder) Record(s FlightSample) {
 	sl.domChecks.Store(s.DomChecks)
 	sl.pruned.Store(s.Pruned)
 	sl.heapPushes.Store(s.HeapPushes)
+	sl.trace.Store(s.Trace)
 	sl.seq.Add(1) // even: stable
 	// Refresh the admission floor from the post-write ring. Concurrent
 	// writers may leave it slightly stale in either direction; that only
@@ -201,6 +216,9 @@ func (f *FlightRecorder) Dump() []FlightRecord {
 				Pruned:     sl.pruned.Load(),
 				HeapPushes: sl.heapPushes.Load(),
 			}
+			if t := sl.trace.Load(); t != nil {
+				rec.TraceID = t.ID
+			}
 			if sl.seq.Load() != v1 {
 				continue
 			}
@@ -233,6 +251,7 @@ func (f *FlightRecorder) Reset() {
 		sl.domChecks.Store(0)
 		sl.pruned.Store(0)
 		sl.heapPushes.Store(0)
+		sl.trace.Store(nil)
 		sl.seq.Store(0)
 	}
 	f.floor.Store(0)

@@ -1,6 +1,8 @@
 package rtree
 
 import (
+	"reflect"
+
 	"hyperdom/internal/geom"
 )
 
@@ -46,6 +48,12 @@ func (n Node) Child(i int) Node { return Node{n.n.children[i]} }
 // Items returns the node's items. Only valid on leaves; callers must not
 // modify the returned slice.
 func (n Node) Items() []Item { return n.n.items }
+
+// DebugID returns an opaque identifier for the underlying node — stable
+// across visits for the tree's lifetime and distinct between live nodes —
+// for execution traces and prune audits. It carries no meaning beyond
+// identity.
+func (n Node) DebugID() uint64 { return uint64(reflect.ValueOf(n.n).Pointer()) }
 
 // RangeSearch returns all items whose spheres intersect the query sphere.
 func (t *Tree) RangeSearch(q geom.Sphere) []Item {

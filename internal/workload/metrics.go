@@ -18,6 +18,7 @@ var (
 	obsPrepGroups    = obs.New("workload.prepared_groups")
 	obsPrepShared    = obs.New("workload.prepared_shared_triples")
 	obsTimingRuns    = obs.New("workload.timing_runs")
+	obsShadowBatches = obs.New("workload.batches_shadow")
 )
 
 // Batch- and worker-level latency histograms (ISSUE 3). One sample per
@@ -28,6 +29,7 @@ var (
 	histParBatch    = obs.NewHistogram("workload.batch_latency", `path="parallel"`)
 	histChunk       = obs.NewHistogram("workload.chunk_latency", `path="generic"`)
 	histPrepChunk   = obs.NewHistogram("workload.chunk_latency", `path="prepared"`)
+	histShadowBatch = obs.NewHistogram("workload.batch_latency", `path="shadow"`)
 )
 
 // tallyBatch records one evaluated workload batch for the given criterion.

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/obs"
+)
+
+// Shadow-evaluation workload support (ISSUE 4): batch-audit a dominance
+// workload against Hyperbola and report per-criterion disagreement counts —
+// the paper's Table 1 correct/sound distinction measured on data instead of
+// proved on paper. A correct criterion must show zero false positives; a
+// sound one zero missed prunes.
+
+// ShadowReport aggregates one workload's disagreements per criterion.
+type ShadowReport struct {
+	// Checks is the number of triples audited.
+	Checks int
+	// Missed counts triples where Hyperbola proves dominance but the
+	// criterion cannot — the unsound side, a pruning opportunity lost.
+	Missed map[string]int
+	// FalsePositives counts triples where the criterion claims dominance
+	// Hyperbola refutes — the incorrect side, which would wrongly discard
+	// an answer.
+	FalsePositives map[string]int
+}
+
+// ShadowVerdicts audits every triple of the workload through
+// dominance.ShadowCompare, returning Hyperbola's verdicts (the ground
+// truth) and the aggregated disagreement report.
+func ShadowVerdicts(w []Triple) ([]bool, ShadowReport) {
+	names := dominance.ShadowCompetitorNames()
+	rep := ShadowReport{
+		Checks:         len(w),
+		Missed:         make(map[string]int, len(names)),
+		FalsePositives: make(map[string]int, len(names)),
+	}
+	for _, name := range names {
+		rep.Missed[name] = 0
+		rep.FalsePositives[name] = 0
+	}
+	sw := obs.StartTimer()
+	out := make([]bool, len(w))
+	for i, t := range w {
+		hyp, mask := dominance.ShadowCompare(t.A, t.B, t.Q, nil)
+		out[i] = hyp
+		for bit, name := range names {
+			if mask&(1<<bit) == 0 {
+				continue
+			}
+			if hyp {
+				rep.Missed[name]++
+			} else {
+				rep.FalsePositives[name]++
+			}
+		}
+	}
+	if obs.On() {
+		obsShadowBatches.Inc()
+		obsTriples.Add(uint64(len(w)))
+	}
+	sw.Stop(histShadowBatch)
+	return out, rep
+}
+
+// Fprint writes the report as a Table 1-shaped summary, criteria in
+// audit order.
+func (r ShadowReport) Fprint(w io.Writer) {
+	names := make([]string, 0, len(r.Missed))
+	for name := range r.Missed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "shadow audit over %d checks (reference: Hyperbola)\n", r.Checks)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-14s missed_prunes=%-6d false_positives=%d\n",
+			name, r.Missed[name], r.FalsePositives[name])
+	}
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"hyperdom/internal/dataset"
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/obs"
+)
+
+// shadowTestWorkload is the seed workload for the Table 1 expectations:
+// Section 7-shaped random triples over a Gaussian dataset.
+func shadowTestWorkload() []Triple {
+	ps := dataset.SyntheticCenters(800, 3, dataset.Gaussian, 5)
+	items := dataset.Spheres(ps, dataset.GaussianRadii(11), 2)
+	return Dominance(items, 6000, 6)
+}
+
+// TestShadowVerdicts checks the batch audit: verdicts are exactly
+// Hyperbola's, the report totals match a direct per-criterion recount, and
+// its polarity follows Table 1 — correct criteria (MinMax, MBR, GP) report
+// zero false positives, the sound one (Trigonometric) zero missed prunes,
+// with real disagreements present on both sides.
+func TestShadowVerdicts(t *testing.T) {
+	w := shadowTestWorkload()
+	got, rep := ShadowVerdicts(w)
+
+	truth := Verdicts(dominance.Hyperbola{}, w)
+	for i := range truth {
+		if got[i] != truth[i] {
+			t.Fatalf("ShadowVerdicts diverged from Hyperbola at triple %d", i)
+		}
+	}
+	if rep.Checks != len(w) {
+		t.Errorf("report Checks = %d, want %d", rep.Checks, len(w))
+	}
+
+	// Recount each criterion's disagreements directly.
+	for _, c := range []dominance.Criterion{
+		dominance.MinMax{}, dominance.MBR{}, dominance.GP{}, dominance.Trigonometric{},
+	} {
+		verd := Verdicts(c, w)
+		missed, falsePos := 0, 0
+		for i := range verd {
+			switch {
+			case truth[i] && !verd[i]:
+				missed++
+			case !truth[i] && verd[i]:
+				falsePos++
+			}
+		}
+		name := c.Name()
+		if rep.Missed[name] != missed {
+			t.Errorf("%s: report missed=%d, recount %d", name, rep.Missed[name], missed)
+		}
+		if rep.FalsePositives[name] != falsePos {
+			t.Errorf("%s: report false_positives=%d, recount %d", name, rep.FalsePositives[name], falsePos)
+		}
+	}
+
+	// Table 1 polarity on the seed workload.
+	for _, name := range []string{"MinMax", "MBR", "GP"} {
+		if rep.FalsePositives[name] != 0 {
+			t.Errorf("correct criterion %s reported %d false positives", name, rep.FalsePositives[name])
+		}
+	}
+	if rep.Missed["Trigonometric"] != 0 {
+		t.Errorf("sound criterion Trigonometric missed %d prunes", rep.Missed["Trigonometric"])
+	}
+	if rep.Missed["MinMax"] == 0 {
+		t.Error("seed workload produced no MinMax missed prunes; audit has no signal")
+	}
+}
+
+// TestShadowVerdictsObs checks the batch counters and histogram move with
+// the obs gate on.
+func TestShadowVerdictsObs(t *testing.T) {
+	defer obs.SetEnabled(true)
+	obs.SetEnabled(true)
+	obs.ResetForTest()
+
+	w := shadowTestWorkload()
+	ShadowVerdicts(w)
+
+	snap := obs.Snapshot()
+	if got := snap.Get("workload.batches_shadow"); got != 1 {
+		t.Errorf("workload.batches_shadow = %d, want 1", got)
+	}
+	if got := snap.Get("dominance.shadow.checks"); got != uint64(len(w)) {
+		t.Errorf("dominance.shadow.checks = %d, want %d", got, len(w))
+	}
+}
+
+// TestShadowReportFprint spot-checks the printed summary shape.
+func TestShadowReportFprint(t *testing.T) {
+	_, rep := ShadowVerdicts(shadowTestWorkload())
+	var sb strings.Builder
+	rep.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"reference: Hyperbola", "MinMax", "Trigonometric", "missed_prunes="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
