@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short bench bench-all fuzz experiments examples serve trace cover clean
+.PHONY: all build check test test-short bench bench-all bench-parallel fuzz experiments examples serve trace cover clean
 
 all: build check
 
@@ -10,9 +10,12 @@ build:
 	$(GO) build ./...
 
 # Static analysis, formatting and the full suite under the race detector —
-# the gate a change must pass before it ships.
+# the gate a change must pass before it ships. staticcheck runs when
+# installed (CI installs it; locally: go install honnef.co/go/tools/cmd/staticcheck@latest).
 check:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test -race ./...
@@ -33,11 +36,17 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzzing passes over the three fuzz targets.
+# Short fuzzing passes over the four fuzz targets.
 fuzz:
 	$(GO) test ./internal/poly -fuzz FuzzQuartic -fuzztime 30s
 	$(GO) test ./internal/dominance -fuzz FuzzHyperbolaVsExact2D -fuzztime 30s
 	$(GO) test ./internal/sstree -fuzz FuzzTreeOps -fuzztime 30s
+	$(GO) test ./internal/packed -fuzz FuzzPackedMinDist -fuzztime 30s
+
+# Batch-engine worker scaling over a frozen SS-tree: queries/s at pool
+# widths 1/2/4/8 (scaling tops out at GOMAXPROCS).
+bench-parallel:
+	$(GO) run ./cmd/knnbench -parallel 1,2,4,8 -scale 0.05
 
 # Regenerate the paper's figures at a moderate scale.
 experiments:

@@ -25,6 +25,12 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.MinSpeedup != 1.3 {
 		t.Errorf("MinSpeedup = %v, want 1.3", cfg.MinSpeedup)
 	}
+	if cfg.MinPackedSpeedup != 1.15 {
+		t.Errorf("MinPackedSpeedup = %v, want 1.15", cfg.MinPackedSpeedup)
+	}
+	if cfg.MinScaling != 2.5 {
+		t.Errorf("MinScaling = %v, want 2.5", cfg.MinScaling)
+	}
 	if cfg.Profile == nil || cfg.Profile.Wanted() {
 		t.Errorf("Profile = %+v, want registered and idle", cfg.Profile)
 	}
@@ -104,15 +110,40 @@ func TestReadReportMissing(t *testing.T) {
 }
 
 func TestGateReport(t *testing.T) {
-	committed := report{KnnAllocsDF: 2, KnnAllocsHS: 2}
-	ok := report{SpeedupPointQ: 1.9, KnnAllocsDF: 2, KnnAllocsHS: 1}
-	if failures := gateReport(ok, committed, 1.3); len(failures) != 0 {
+	cfg := &config{MinSpeedup: 1.3, MinPackedSpeedup: 1.15, MinScaling: 2.5}
+	committed := report{
+		KnnAllocsDF: 2, KnnAllocsHS: 2,
+		KnnAllocsPackedDF: 2, KnnAllocsPackedHS: 2,
+	}
+	// Single core: the adaptive scaling floor collapses to 0.8, so flat
+	// 1.0x scaling passes.
+	ok := report{
+		SpeedupPointQ: 1.9, SpeedupPacked: 1.2,
+		KnnAllocsDF: 2, KnnAllocsHS: 1,
+		KnnAllocsPackedDF: 2, KnnAllocsPackedHS: 2,
+		Throughput: throughputBlock{GoMaxProcs: 1, ScalingAtMax: 1.0},
+	}
+	if failures := gateReport(ok, committed, cfg); len(failures) != 0 {
 		t.Errorf("clean report failed the gate: %v", failures)
 	}
-	bad := report{SpeedupPointQ: 1.1, KnnAllocsDF: 3, KnnAllocsHS: 5}
-	failures := gateReport(bad, committed, 1.3)
-	if len(failures) != 3 {
-		t.Errorf("regressed report produced %d failures, want 3: %v", len(failures), failures)
+	// Eight cores: the full -min-scaling bar applies, and every ratio and
+	// alloc count here regresses — one failure per gate.
+	bad := report{
+		SpeedupPointQ: 1.1, SpeedupPacked: 1.0,
+		KnnAllocsDF: 3, KnnAllocsHS: 5,
+		KnnAllocsPackedDF: 3, KnnAllocsPackedHS: 4,
+		Throughput: throughputBlock{GoMaxProcs: 8, ScalingAtMax: 1.2},
+	}
+	failures := gateReport(bad, committed, cfg)
+	if len(failures) != 7 {
+		t.Errorf("regressed report produced %d failures, want 7: %v", len(failures), failures)
+	}
+	// Even one core must not make queries slower through the pool: scaling
+	// under 0.8 fails regardless of GOMAXPROCS.
+	slow := ok
+	slow.Throughput = throughputBlock{GoMaxProcs: 1, ScalingAtMax: 0.7}
+	if failures := gateReport(slow, committed, cfg); len(failures) != 1 {
+		t.Errorf("sub-0.8x scaling produced %d failures, want 1: %v", len(failures), failures)
 	}
 }
 
@@ -122,11 +153,11 @@ func TestCaptureMetrics(t *testing.T) {
 	defer obs.SetEnabled(true)
 	obs.SetEnabled(false) // captureMetrics enables the gate itself
 
-	idx, queries := knnFixture(1500, 6)
+	_, idx, queries := knnFixture(1500, 6)
 	sa, sb, points, _ := pairWorkload(rand.New(rand.NewSource(42)), 6, 64)
 	m := captureMetrics(idx, queries, 5, sa, sb, points)
 
-	if want := 4 * len(queries); m.Searches != want {
+	if want := 5 * len(queries); m.Searches != want {
 		t.Errorf("Searches = %d, want %d", m.Searches, want)
 	}
 	if got := m.Counters["knn.searches"]; got != uint64(m.Searches) {

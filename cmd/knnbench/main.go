@@ -4,25 +4,33 @@
 //
 // Usage:
 //
-//	knnbench [-fig N] [-scale S] [-seed N]
+//	knnbench [-fig N] [-scale S] [-seed N] [-parallel 1,2,4,8]
 //
-//	-fig    figure to run: 13, 14, 15, 16, or 0 for all (default 0);
-//	        17 runs the index-comparison extension experiment
-//	-scale  dataset/query scale relative to the paper's (default 0.02;
-//	        1.0 reproduces the full cardinalities — budget hours)
-//	-seed   RNG seed (default 1)
-//	-shadow audit every dominance check against Hyperbola and count
-//	        per-criterion disagreements (Table 1 in vivo; slows checks)
+//	-fig      figure to run: 13, 14, 15, 16, or 0 for all (default 0);
+//	          17 runs the index-comparison extension experiment
+//	-scale    dataset/query scale relative to the paper's (default 0.02;
+//	          1.0 reproduces the full cardinalities — budget hours)
+//	-seed     RNG seed (default 1)
+//	-shadow   audit every dominance check against Hyperbola and count
+//	          per-criterion disagreements (Table 1 in vivo; slows checks)
+//	-parallel comma-separated worker-pool widths; runs the batch-engine
+//	          scaling experiment over a frozen SS-tree instead of the
+//	          figures and prints a queries/s table per width
 //
 // The shared observability flags apply as well; in particular
-// `-trace out.json` samples searches for execution tracing and exports the
-// retained traces as Chrome trace_event JSON on exit (see DESIGN.md §10).
+// `-trace out.json` samples every `-trace-every`-th search (default 16,
+// matching README "Tracing a slow query") for execution tracing and
+// exports the retained traces — tagged with the trace_id that /debug/slow
+// flight records carry — as Chrome trace_event JSON on exit (DESIGN.md
+// §10).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/experiments"
@@ -35,6 +43,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	shadow := flag.Bool("shadow", false,
 		"shadow-evaluate every dominance check against Hyperbola and count per-criterion disagreements")
+	parallel := flag.String("parallel", "",
+		"comma-separated engine pool widths (e.g. 1,2,4,8); runs the batch-engine scaling experiment instead of the figures")
 	pf := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -55,6 +65,17 @@ func main() {
 	defer stop()
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	if *parallel != "" {
+		widths, err := parseWidths(*parallel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "knnbench: -parallel: %v\n", err)
+			os.Exit(2)
+		}
+		before := figureMetricsStart(pf)
+		fmt.Println(experiments.RunParallel(cfg, widths).Table().Render())
+		figureMetricsEnd(pf, 0, before)
+		return
+	}
 	if *fig == 17 {
 		before := figureMetricsStart(pf)
 		fmt.Println(experiments.RunIndexComparison(cfg).Table().Render())
@@ -85,6 +106,21 @@ func main() {
 		fmt.Println(res.PrecisionTable().Render())
 		figureMetricsEnd(pf, f, before)
 	}
+}
+
+// parseWidths parses the -parallel value: comma-separated positive pool
+// widths.
+func parseWidths(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	widths := make([]int, 0, len(parts))
+	for _, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad pool width %q (want positive integers, e.g. 1,2,4,8)", p)
+		}
+		widths = append(widths, w)
+	}
+	return widths, nil
 }
 
 // figureMetricsStart honors an explicit -metrics per figure: the counter

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseWidths(t *testing.T) {
+	got, err := parseWidths("1,2, 4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 2, 4, 8}; !reflect.DeepEqual(got, want) {
+		t.Errorf("parseWidths = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", "0", "-1", "two", "1,,2", "1,2,"} {
+		if widths, err := parseWidths(bad); err == nil {
+			t.Errorf("parseWidths(%q) = %v, want error", bad, widths)
+		}
+	}
+}

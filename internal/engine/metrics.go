@@ -1,0 +1,19 @@
+package engine
+
+import "hyperdom/internal/obs"
+
+// Engine observability: pool lifecycle, submission/completion flow and
+// queue-wait latency. engine.submitted − engine.completed is the number of
+// queries currently queued or running; the engine.queue_wait histogram is
+// the saturation signal — its tail grows as soon as submissions outpace
+// the workers. The /metrics exposition renders these as
+// hyperdom_engine_*.
+var (
+	obsEngines   = obs.New("engine.pools_started")
+	obsWorkers   = obs.New("engine.workers")
+	obsBatches   = obs.New("engine.batches")
+	obsSubmitted = obs.New("engine.submitted")
+	obsCompleted = obs.New("engine.completed")
+
+	histQueueWait = obs.NewHistogram("engine.queue_wait", "")
+)

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"hyperdom/internal/dataset"
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/knn"
+	"hyperdom/internal/sstree"
+	"hyperdom/internal/stats"
+	"hyperdom/internal/workload"
+)
+
+// ParallelRow is one pool width of the batch-engine scaling experiment.
+type ParallelRow struct {
+	Workers   int
+	OpsPerSec float64
+	Scaling   float64 // versus the 1-worker pool
+}
+
+// ParallelResult is the batch-engine scaling experiment: the same query
+// batch answered through engine pools of growing width over one frozen
+// SS-tree.
+type ParallelResult struct {
+	Items      int
+	Queries    int
+	K          int
+	GoMaxProcs int
+	Rows       []ParallelRow
+}
+
+// RunParallel measures batch kNN throughput through the engine worker pool
+// at each requested pool width (e.g. 1, 2, 4, 8). The dataset follows the
+// paper's default synthetic setting, the query batch is drawn from the
+// dataset itself (the Section 7.2 query model), and every width answers
+// with HS(Hyper) over the frozen packed snapshot — the answers are
+// identical at every width, so the table isolates scheduling throughput.
+// Scaling is reported against the first width; it cannot exceed
+// GOMAXPROCS, which the result records so a flat table on a one-core
+// machine reads as expected, not broken.
+func RunParallel(cfg Config, workers []int) ParallelResult {
+	cfg = cfg.normalized()
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	n := cfg.scaled(DefaultSize, 1000)
+	nq := cfg.scaled(2000, 64)
+	ps := dataset.SyntheticCenters(n, DefaultDim, dataset.Gaussian, cfg.Seed)
+	items := dataset.Spheres(ps, dataset.GaussianRadii(DefaultRadius), cfg.Seed)
+	tree := sstree.New(DefaultDim)
+	for _, it := range items {
+		tree.Insert(it)
+	}
+	tree.Freeze()
+	idx := knn.WrapSSTree(tree)
+	queries := workload.KNNQueries(items, nq, cfg.Seed+99)
+
+	res := ParallelResult{Items: n, Queries: nq, K: DefaultK, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, w := range workers {
+		if w < 1 {
+			w = 1
+		}
+		// Two runs per width, keeping the faster: the first also warms the
+		// workers' scratch arenas, so the kept run measures steady state.
+		var best time.Duration
+		for rep := 0; rep < 2; rep++ {
+			start := time.Now()
+			workload.KNNBatch(idx, queries, DefaultK, w, dominance.Hyperbola{}, knn.HS)
+			if el := time.Since(start); rep == 0 || el < best {
+				best = el
+			}
+		}
+		row := ParallelRow{Workers: w, OpsPerSec: float64(nq) / best.Seconds(), Scaling: 1}
+		if len(res.Rows) > 0 && res.Rows[0].OpsPerSec > 0 {
+			row.Scaling = row.OpsPerSec / res.Rows[0].OpsPerSec
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Table renders the worker-scaling table.
+func (r ParallelResult) Table() stats.Table {
+	t := stats.Table{
+		Title: fmt.Sprintf("Batch engine scaling — HS(Hyper), %d items, %d queries, k=%d, GOMAXPROCS=%d",
+			r.Items, r.Queries, r.K, r.GoMaxProcs),
+		Header: []string{"Workers", "Queries/s", "Scaling"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%d", row.Workers),
+			fmt.Sprintf("%.0f", row.OpsPerSec),
+			fmt.Sprintf("%.2fx", row.Scaling))
+	}
+	return t
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunParallel(t *testing.T) {
+	res := RunParallel(Config{Scale: 0.01, Seed: 5}, []int{1, 2})
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	if res.Rows[0].Workers != 1 || res.Rows[1].Workers != 2 {
+		t.Errorf("widths = %d, %d, want 1, 2", res.Rows[0].Workers, res.Rows[1].Workers)
+	}
+	if res.Rows[0].Scaling != 1 {
+		t.Errorf("first-width scaling = %v, want 1 (it is the baseline)", res.Rows[0].Scaling)
+	}
+	for i, row := range res.Rows {
+		if row.OpsPerSec <= 0 {
+			t.Errorf("row %d: OpsPerSec = %v", i, row.OpsPerSec)
+		}
+	}
+	if res.GoMaxProcs < 1 {
+		t.Errorf("GoMaxProcs = %d", res.GoMaxProcs)
+	}
+	table := res.Table().Render()
+	for _, want := range []string{"Workers", "Queries/s", "Scaling", "1.00x"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestRunParallelDefaultWidths(t *testing.T) {
+	res := RunParallel(Config{Scale: 0.01, Seed: 5}, nil)
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want the 1/2/4/8 default", len(res.Rows))
+	}
+}

@@ -74,6 +74,37 @@ func TestSearchAllocs(t *testing.T) {
 	}
 }
 
+// TestSearchAllocsPacked holds the frozen (packed SoA) traversal to the
+// same steady-state budget as the pointer path: the streaming kernels write
+// into scratch-owned buffers, so freezing must not reintroduce per-node
+// allocation.
+func TestSearchAllocsPacked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-item fixture")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; AllocsPerRun is meaningless under -race")
+	}
+	idx, queries := allocFixture(10000)
+	idx.(ssAdapter).t.Freeze()
+	for _, algo := range []Algorithm{DF, HS} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			q := 0
+			for i := 0; i < 4; i++ {
+				Search(idx, queries[i], 10, dominance.Hyperbola{}, algo)
+			}
+			allocs := testing.AllocsPerRun(64, func() {
+				Search(idx, queries[q%len(queries)], 10, dominance.Hyperbola{}, algo)
+				q++
+			})
+			if allocs > searchAllocBudget {
+				t.Errorf("%v packed: %.1f allocs per search, budget %d", algo, allocs, searchAllocBudget)
+			}
+		})
+	}
+}
+
 // TestSearchBatchAllocs pins the per-query allocation cost of the batch
 // path, which reuses one scratch arena per worker across all its queries.
 func TestSearchBatchAllocs(t *testing.T) {
@@ -100,6 +131,23 @@ func TestSearchBatchAllocs(t *testing.T) {
 // the figures BENCH_knn.json tracks across PRs.
 func BenchmarkSearch(b *testing.B) {
 	idx, queries := allocFixture(10000)
+	for _, algo := range []Algorithm{DF, HS} {
+		algo := algo
+		b.Run(fmt.Sprintf("SS10k/%v", algo), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Search(idx, queries[i%len(queries)], 10, dominance.Hyperbola{}, algo)
+			}
+		})
+	}
+}
+
+// BenchmarkSearchPacked is BenchmarkSearch over the frozen snapshot — the
+// single-thread packed-layout win BENCH_knn.json records as
+// speedup_packed_layout.
+func BenchmarkSearchPacked(b *testing.B) {
+	idx, queries := allocFixture(10000)
+	idx.(ssAdapter).t.Freeze()
 	for _, algo := range []Algorithm{DF, HS} {
 		algo := algo
 		b.Run(fmt.Sprintf("SS10k/%v", algo), func(b *testing.B) {

@@ -31,6 +31,7 @@ import (
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/geom"
 	"hyperdom/internal/obs"
+	"hyperdom/internal/vec"
 )
 
 // Item is the indexed unit, shared with the index packages.
@@ -283,11 +284,24 @@ func (l *bestList) add(e entry) {
 
 // offer processes one data item through the Case 1–3 logic of Section 6.
 func (l *bestList) offer(it Item) {
+	l.offerDist(it, vec.Dist(it.Sphere.Center, l.sq.Center))
+}
+
+// offerDist is offer with the item's center-to-query distance already in
+// hand: the packed leaf pass computes it for a whole leaf in one streaming
+// kernel call, and both MaxDist and MinDist derive from it — in exactly the
+// operation order of geom.MaxDist/geom.MinDist, which keeps the pointer and
+// packed paths bit-identical — for the price of a single sqrt.
+func (l *bestList) offerDist(it Item, dist float64) {
 	l.stats.Items++
+	minDist := dist - it.Sphere.Radius - l.sq.Radius
+	if !(minDist > 0) {
+		minDist = 0
+	}
 	e := entry{
 		item:    it,
-		maxDist: geom.MaxDist(it.Sphere, l.sq),
-		minDist: geom.MinDist(it.Sphere, l.sq),
+		maxDist: dist + it.Sphere.Radius + l.sq.Radius,
+		minDist: minDist,
 	}
 	if len(l.entries) < l.k {
 		l.add(e)

@@ -110,14 +110,14 @@ func (sc *scratch) flushObs(idx Index, algo Algorithm, k int, start time.Time, s
 	}
 	flushStats(st)
 
-	heapPushes := sc.heap.pushes + sc.ssHeap.pushes
+	heapPushes := sc.heap.pushes + sc.ssHeap.pushes + sc.pHeap.pushes
 	if heapPushes != 0 {
 		obsHeapPushes.Add(heapPushes)
 	}
-	if n := sc.heap.pops + sc.ssHeap.pops; n != 0 {
+	if n := sc.heap.pops + sc.ssHeap.pops + sc.pHeap.pops; n != 0 {
 		obsHeapPops.Add(n)
 	}
-	if n := sc.heap.grown + sc.ssHeap.grown; n != 0 {
+	if n := sc.heap.grown + sc.ssHeap.grown + sc.pHeap.grown; n != 0 {
 		obsHeapGrowth.Add(n)
 	}
 	if sc.dfExpansions != 0 {
@@ -165,6 +165,7 @@ func (sc *scratch) flushObs(idx Index, algo Algorithm, k int, start time.Time, s
 func (sc *scratch) clearObsTallies() {
 	sc.heap.pushes, sc.heap.pops, sc.heap.grown = 0, 0, 0
 	sc.ssHeap.pushes, sc.ssHeap.pops, sc.ssHeap.grown = 0, 0, 0
+	sc.pHeap.pushes, sc.pHeap.pops, sc.pHeap.grown = 0, 0, 0
 	sc.dfExpansions = 0
 	sc.list.deferMerges, sc.list.deferItems = 0, 0
 }

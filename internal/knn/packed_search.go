@@ -1,0 +1,223 @@
+package knn
+
+import (
+	"hyperdom/internal/geom"
+	"hyperdom/internal/obs"
+	"hyperdom/internal/packed"
+)
+
+// obsSearchPacked counts searches answered off a frozen SoA snapshot
+// (ISSUE 5) rather than the pointer-chasing node path.
+var obsSearchPacked = obs.New("knn.searches.packed")
+
+// frozenOf returns the substrate's cached packed snapshot, or nil when the
+// index is not one of the three tree adapters or has not been frozen (or
+// was mutated since — the substrates auto-thaw).
+func frozenOf(idx Index) *packed.Tree {
+	switch a := idx.(type) {
+	case ssAdapter:
+		if pt, ok := a.t.Frozen(); ok {
+			return pt
+		}
+	case mAdapter:
+		if pt, ok := a.t.Frozen(); ok {
+			return pt
+		}
+	case rAdapter:
+		if pt, ok := a.t.Frozen(); ok {
+			return pt
+		}
+	}
+	return nil
+}
+
+// packedNodeID is the trace identity of a packed node: its dense id shifted
+// by one, because 0 means "no identity" in the span schema.
+func packedNodeID(n int32) uint64 { return uint64(n) + 1 }
+
+// offerLeafPacked streams one DistBlock pass over leaf n's packed item
+// centers and offers every item off it.
+//
+// The pass exploits the SoA layout twice. First, one sqrt per item instead
+// of the pointer path's two (MaxDist + MinDist). Second — the big one — a
+// Case-3 item (minDist > distk, Lemma 9) is recognised from the distance
+// and radius blocks alone, so the Item struct behind it is never loaded:
+// the prune touches only two sequential float64 arrays. The condition is
+// exactly offerDist's Case 3 (minDist > dk with dk ≥ 0 implies the raw and
+// clamped minDist agree, and maxDist ≥ minDist > dk rules out Cases 1–2),
+// and a Case-3 offer changes no list state, so stats and results stay
+// bit-identical. Traced searches take the plain per-item path, which emits
+// the identical ItemPrune spans.
+func (sc *scratch) offerLeafPacked(t *packed.Tree, n int32, sq geom.Sphere, l *bestList) int32 {
+	items := t.LeafItems(n)
+	sc.pBuf = growTo(sc.pBuf, len(items))
+	t.LeafDists(n, sq.Center, sc.pBuf)
+	if l.tb != nil {
+		for i, it := range items {
+			l.offerDist(it, sc.pBuf[i])
+		}
+		return int32(len(items))
+	}
+	radii := t.ItemRadii(n)
+	qr := sq.Radius
+	dk := l.distK()
+	for i := range items {
+		dist := sc.pBuf[i]
+		if dist-radii[i]-qr > dk {
+			l.stats.Items++
+			l.stats.Pruned++
+			continue
+		}
+		l.offerDist(items[i], dist)
+		dk = l.distK()
+	}
+	return int32(len(items))
+}
+
+// searchDFPacked is searchDF over a frozen snapshot: node ids instead of
+// cursors, and the per-child MinDist loop replaced by one streaming kernel
+// call over the node's packed bounds. nd is n's own MinDist to the query,
+// known from the parent's pass (RootMinDist at the root).
+func (sc *scratch) searchDFPacked(t *packed.Tree, n int32, nd float64, sq geom.Sphere, l *bestList) {
+	l.stats.NodesVisited++
+	sp := int32(-1)
+	if tb := sc.tb; tb != nil {
+		sp = tb.StartNode(packedNodeID(n), nd)
+	}
+	if t.IsLeaf(n) {
+		scanned := sc.offerLeafPacked(t, n, sq, l)
+		if sc.tb != nil {
+			sc.tb.EndNode(sp, 0, scanned)
+		}
+		return
+	}
+	base := len(sc.pStack)
+	kids := t.Children(n)
+	nc := len(kids)
+	sc.dfExpansions += uint64(nc)
+	sc.pStack = append(sc.pStack, kids...)
+	sc.pDists = growTo(sc.pDists, base+nc)
+	t.ChildMinDists(n, sq, sc.pDists[base:base+nc])
+	sortByDist(sc.pStack[base:base+nc], sc.pDists[base:base+nc])
+	for i := 0; i < nc; i++ {
+		if sc.pDists[base+i] > l.distK() {
+			if tb := sc.tb; tb != nil {
+				for j := i; j < nc; j++ {
+					tb.NodePrune(packedNodeID(sc.pStack[base+j]), sc.pDists[base+j])
+				}
+			}
+			break
+		}
+		sc.searchDFPacked(t, sc.pStack[base+i], sc.pDists[base+i], sq, l)
+	}
+	sc.pStack = sc.pStack[:base]
+	sc.pDists = sc.pDists[:base]
+	if sc.tb != nil {
+		sc.tb.EndNode(sp, int32(nc), 0)
+	}
+}
+
+// pHeap is the best-first frontier over packed node ids, mirroring ssHeap.
+type pHeap struct {
+	ids   []int32
+	dists []float64
+
+	// Scratch-local observability tallies, as in nodeHeap.
+	pushes, pops, grown uint64
+}
+
+func (h *pHeap) len() int { return len(h.ids) }
+
+func (h *pHeap) push(n int32, d float64) {
+	h.pushes++
+	if len(h.ids) == cap(h.ids) {
+		h.grown++
+	}
+	h.ids = append(h.ids, n)
+	h.dists = append(h.dists, d)
+	i := len(h.ids) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.dists[p] <= h.dists[i] {
+			break
+		}
+		h.ids[p], h.ids[i] = h.ids[i], h.ids[p]
+		h.dists[p], h.dists[i] = h.dists[i], h.dists[p]
+		i = p
+	}
+}
+
+func (h *pHeap) pop() (int32, float64) {
+	h.pops++
+	n, d := h.ids[0], h.dists[0]
+	last := len(h.ids) - 1
+	h.ids[0], h.dists[0] = h.ids[last], h.dists[last]
+	h.ids = h.ids[:last]
+	h.dists = h.dists[:last]
+	h.siftDown(0)
+	return n, d
+}
+
+func (h *pHeap) siftDown(i int) {
+	for {
+		c := 2*i + 1
+		if c >= len(h.ids) {
+			return
+		}
+		if c+1 < len(h.ids) && h.dists[c+1] < h.dists[c] {
+			c++
+		}
+		if h.dists[i] <= h.dists[c] {
+			return
+		}
+		h.ids[i], h.ids[c] = h.ids[c], h.ids[i]
+		h.dists[i], h.dists[c] = h.dists[c], h.dists[i]
+		i = c
+	}
+}
+
+// searchHSPacked is searchHS over a frozen snapshot. Children are scored by
+// one kernel pass per expanded node and pushed under the hoisted distk
+// bound; the pop order is identical to the pointer path because the keys
+// are bit-identical and the heap is the same shape.
+func (sc *scratch) searchHSPacked(t *packed.Tree, sq geom.Sphere, l *bestList) {
+	h := &sc.pHeap
+	h.push(t.Root(), t.RootMinDist(sq))
+	for h.len() > 0 {
+		n, dist := h.pop()
+		if dist > l.distK() {
+			if tb := sc.tb; tb != nil {
+				tb.NodePrune(packedNodeID(n), dist)
+			}
+			return
+		}
+		l.stats.NodesVisited++
+		sp := int32(-1)
+		if tb := sc.tb; tb != nil {
+			sp = tb.StartNode(packedNodeID(n), dist)
+		}
+		if t.IsLeaf(n) {
+			scanned := sc.offerLeafPacked(t, n, sq, l)
+			if sc.tb != nil {
+				sc.tb.EndNode(sp, 0, scanned)
+			}
+			continue
+		}
+		// Invariant: distk cannot change inside this loop — it only shrinks
+		// when an item is offered, and this loop only pushes child nodes.
+		dk := l.distK()
+		kids := t.Children(n)
+		sc.pBuf = growTo(sc.pBuf, len(kids))
+		t.ChildMinDists(n, sq, sc.pBuf)
+		for i, c := range kids {
+			if d := sc.pBuf[i]; d <= dk {
+				h.push(c, d)
+			} else if tb := sc.tb; tb != nil {
+				tb.NodePrune(packedNodeID(c), d)
+			}
+		}
+		if sc.tb != nil {
+			sc.tb.EndNode(sp, int32(len(kids)), 0)
+		}
+	}
+}

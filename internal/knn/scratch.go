@@ -34,6 +34,15 @@ type scratch struct {
 	ssDists []float64
 	ssHeap  ssHeap
 
+	// Packed (frozen snapshot) fast-path state: dense node ids instead of
+	// cursors, plus a staging buffer for the streaming kernel outputs
+	// (leaf item distances, HS child mindists). None of these hold
+	// references, so pooling them needs no clearing.
+	pStack []int32
+	pDists []float64
+	pBuf   []float64
+	pHeap  pHeap
+
 	// dfExpansions tallies children expanded by the depth-first
 	// traversals this search (plain add; drained by flushObs).
 	dfExpansions uint64
@@ -66,6 +75,10 @@ func (sc *scratch) resetTraversal() {
 	sc.ssDists = sc.ssDists[:0]
 	sc.ssHeap.nodes = clearLen(sc.ssHeap.nodes)
 	sc.ssHeap.dists = sc.ssHeap.dists[:0]
+	sc.pStack = sc.pStack[:0]
+	sc.pDists = sc.pDists[:0]
+	sc.pHeap.ids = sc.pHeap.ids[:0]
+	sc.pHeap.dists = sc.pHeap.dists[:0]
 }
 
 var scratchPool = sync.Pool{New: func() any { return &scratch{shard: obs.NextShard()} }}
@@ -91,6 +104,10 @@ func putScratch(sc *scratch) {
 	sc.ssDists = sc.ssDists[:0]
 	sc.ssHeap.nodes = clearCap(sc.ssHeap.nodes)
 	sc.ssHeap.dists = sc.ssHeap.dists[:0]
+	sc.pStack = sc.pStack[:0]
+	sc.pDists = sc.pDists[:0]
+	sc.pHeap.ids = sc.pHeap.ids[:0]
+	sc.pHeap.dists = sc.pHeap.dists[:0]
 	sc.list.entries = clearCap(sc.list.entries)
 	sc.list.deferred = clearCap(sc.list.deferred)
 	sc.list.stats = nil

@@ -68,6 +68,28 @@ func Search(idx Index, sq geom.Sphere, k int, crit dominance.Criterion, algo Alg
 	return sc.search(idx, sq, k, crit, algo)
 }
 
+// Searcher owns one scratch arena for repeated searches from a single
+// goroutine — the per-worker handle of the batch-query engine (package
+// engine). It skips the pool round-trip Search pays per query; otherwise
+// the two are identical. Not safe for concurrent use.
+type Searcher struct{ sc *scratch }
+
+// NewSearcher takes a scratch arena out of the pool.
+func NewSearcher() *Searcher { return &Searcher{sc: getScratch()} }
+
+// Search answers one query out of the Searcher's arena; see Search.
+func (s *Searcher) Search(idx Index, sq geom.Sphere, k int, crit dominance.Criterion, algo Algorithm) Result {
+	return s.sc.search(idx, sq, k, crit, algo)
+}
+
+// Close returns the arena to the pool. The Searcher must not be used after.
+func (s *Searcher) Close() {
+	if s.sc != nil {
+		putScratch(s.sc)
+		s.sc = nil
+	}
+}
+
 func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Criterion, algo Algorithm) Result {
 	if k <= 0 {
 		panic(fmt.Sprintf("knn: k = %d", k))
@@ -92,6 +114,29 @@ func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Crite
 	if sc.tb != nil {
 		l.tb = sc.tb
 		l.critLabel = obs.FlightLabel(crit.Name())
+	}
+	// A frozen substrate routes to the packed traversal: same verdicts,
+	// result sets and stats (the kernels and traversal order are
+	// bit-identical to the pointer path), off contiguous SoA blocks.
+	if pt := frozenOf(idx); pt != nil {
+		if pt.Empty() {
+			sc.cancelTrace()
+			return res
+		}
+		switch algo {
+		case DF:
+			sc.searchDFPacked(pt, pt.Root(), pt.RootMinDist(sq), sq, l)
+		case HS:
+			sc.searchHSPacked(pt, sq, l)
+		default:
+			panic(fmt.Sprintf("knn: unknown algorithm %d", int(algo)))
+		}
+		res.Items = l.finish()
+		if obs.On() {
+			obsSearchPacked.Inc()
+			sc.flushObs(idx, algo, k, start, &res.Stats)
+		}
+		return res
 	}
 	if a, ok := idx.(ssAdapter); ok {
 		root, ok := a.t.Root()

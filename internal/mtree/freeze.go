@@ -1,0 +1,55 @@
+package mtree
+
+import "hyperdom/internal/packed"
+
+// Freeze builds — or returns the cached — packed read-optimized snapshot
+// of the tree (ISSUE 5): routing entries (pivot centers and covering
+// radii) flattened into contiguous SoA blocks the kNN traversal streams
+// over. Searches through knn.WrapMTree pick the snapshot up automatically.
+//
+// The snapshot is immutable and safe for concurrent readers. Mutating the
+// tree afterwards (Insert, Delete) auto-thaws: the cached snapshot is
+// dropped and searches fall back to the pointer path until the next
+// Freeze. Callers holding the returned *packed.Tree directly must discard
+// it after mutating the source.
+func (t *Tree) Freeze() *packed.Tree {
+	if t.frozen != nil {
+		return t.frozen
+	}
+	b := packed.NewBuilder(packed.KindSphere, t.dim)
+	if t.root == nil {
+		t.frozen = b.FinishEmpty()
+		return t.frozen
+	}
+	var build func(n *node) int32
+	build = func(n *node) int32 {
+		if n.leaf {
+			return b.Leaf(n.items)
+		}
+		ids := make([]int32, len(n.children))
+		centers := make([][]float64, len(n.children))
+		radii := make([]float64, len(n.children))
+		for i, c := range n.children {
+			ids[i] = build(c)
+			centers[i] = c.pivot
+			radii[i] = c.radius
+		}
+		return b.InternalSphere(ids, centers, radii)
+	}
+	root := build(t.root)
+	t.frozen = b.FinishSphere(root, t.root.pivot, t.root.radius)
+	return t.frozen
+}
+
+// Frozen returns the cached packed snapshot; ok is false when the tree was
+// never frozen or has been mutated (auto-thawed) since the last Freeze.
+func (t *Tree) Frozen() (*packed.Tree, bool) { return t.frozen, t.frozen != nil }
+
+// thaw drops the cached snapshot. Every mutating operation calls it first,
+// which is the auto-thaw half of the freeze/thaw contract (DESIGN.md §11).
+func (t *Tree) thaw() {
+	if t.frozen != nil {
+		t.frozen = nil
+		packed.NoteThaw()
+	}
+}

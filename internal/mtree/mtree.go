@@ -17,6 +17,7 @@ import (
 
 	"hyperdom/internal/geom"
 	"hyperdom/internal/obs"
+	"hyperdom/internal/packed"
 	"hyperdom/internal/vec"
 )
 
@@ -34,6 +35,7 @@ type Tree struct {
 	maxFill int
 	root    *node
 	size    int
+	frozen  *packed.Tree // cached Freeze snapshot; nil when thawed
 }
 
 type node struct {
@@ -90,6 +92,7 @@ func (t *Tree) Insert(it Item) {
 	if err := it.Sphere.Validate(); err != nil {
 		panic("mtree: " + err.Error())
 	}
+	t.thaw()
 	if t.root == nil {
 		t.root = &node{leaf: true, pivot: vec.Clone(it.Sphere.Center)}
 	}

@@ -14,6 +14,7 @@ func (t *Tree) Delete(it Item) bool {
 	if t.root == nil {
 		return false
 	}
+	t.thaw()
 	mbr := it.Sphere.MBR()
 	var orphans []Item
 	if !t.delete(t.root, it, mbr, &orphans) {

@@ -17,6 +17,7 @@ import (
 
 	"hyperdom/internal/geom"
 	"hyperdom/internal/obs"
+	"hyperdom/internal/packed"
 )
 
 // Item is the indexed unit, shared with the other index packages.
@@ -33,6 +34,7 @@ type Tree struct {
 	maxFill int
 	root    *node
 	size    int
+	frozen  *packed.Tree // cached Freeze snapshot; nil when thawed
 }
 
 type node struct {
@@ -89,6 +91,7 @@ func (t *Tree) Insert(it Item) {
 	if err := it.Sphere.Validate(); err != nil {
 		panic("rtree: " + err.Error())
 	}
+	t.thaw()
 	mbr := it.Sphere.MBR()
 	if t.root == nil {
 		t.root = &node{leaf: true, rect: mbr.Clone()}

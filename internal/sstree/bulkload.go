@@ -20,6 +20,7 @@ func (t *Tree) BulkLoad(items []Item) {
 	if t.size != 0 || t.root != nil {
 		panic("sstree: BulkLoad into a non-empty tree")
 	}
+	t.thaw()
 	if len(items) == 0 {
 		return
 	}

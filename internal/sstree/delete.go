@@ -14,6 +14,7 @@ func (t *Tree) Delete(it Item) bool {
 	if t.root == nil {
 		return false
 	}
+	t.thaw()
 	var orphans []Item
 	found := t.delete(t.root, it, &orphans)
 	if !found {

@@ -19,6 +19,7 @@ import (
 
 	"hyperdom/internal/geom"
 	"hyperdom/internal/obs"
+	"hyperdom/internal/packed"
 	"hyperdom/internal/vec"
 )
 
@@ -39,6 +40,7 @@ type Tree struct {
 	maxFill int
 	root    *node
 	size    int
+	frozen  *packed.Tree // cached Freeze snapshot; nil when thawed
 }
 
 type node struct {
@@ -111,6 +113,7 @@ func (t *Tree) Insert(it Item) {
 	if err := it.Sphere.Validate(); err != nil {
 		panic("sstree: " + err.Error())
 	}
+	t.thaw()
 	if t.root == nil {
 		t.root = &node{leaf: true, centroid: make([]float64, t.dim)}
 	}
