@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short bench bench-all bench-parallel fuzz experiments examples serve trace cover clean
+.PHONY: all build check test test-short bench bench-all bench-parallel bench-quant fuzz experiments examples serve trace cover clean
 
 all: build check
 
@@ -36,17 +36,25 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzzing passes over the four fuzz targets.
+# Short fuzzing passes over the five fuzz targets.
 fuzz:
 	$(GO) test ./internal/poly -fuzz FuzzQuartic -fuzztime 30s
 	$(GO) test ./internal/dominance -fuzz FuzzHyperbolaVsExact2D -fuzztime 30s
 	$(GO) test ./internal/sstree -fuzz FuzzTreeOps -fuzztime 30s
 	$(GO) test ./internal/packed -fuzz FuzzPackedMinDist -fuzztime 30s
+	$(GO) test ./internal/packed -fuzz FuzzQuantizedLowerBound -fuzztime 30s
 
 # Batch-engine worker scaling over a frozen SS-tree: queries/s at pool
 # widths 1/2/4/8 (scaling tops out at GOMAXPROCS).
 bench-parallel:
 	$(GO) run ./cmd/knnbench -parallel 1,2,4,8 -scale 0.05
+
+# The quantized coarse-filter comparison: Fig 13 once per tier (exact
+# packed baseline, float32, int8) on the same workload.
+bench-quant:
+	$(GO) run ./cmd/knnbench -fig 13 -scale 0.05 -quant none
+	$(GO) run ./cmd/knnbench -fig 13 -scale 0.05 -quant f32
+	$(GO) run ./cmd/knnbench -fig 13 -scale 0.05 -quant i8
 
 # Regenerate the paper's figures at a moderate scale.
 experiments:

@@ -21,10 +21,20 @@
 //
 // Usage:
 //
-//	benchkernel [-o BENCH_knn.json]
+//	benchkernel [-o BENCH_knn.json] [-quant none|f32|i8]
 //	benchkernel -gate BENCH_knn.json -min-speedup 1.3 \
-//	            -min-packed-speedup 1.15 -min-scaling 2.5   # CI sanity gate
+//	            -min-packed-speedup 1.15 -min-quant-speedup 1.4 \
+//	            -min-sphere-speedup 1.5 -min-scaling 2.5     # CI sanity gate
 //	benchkernel -trace trace.json                           # export query traces
+//
+// The packed search is benchmarked four ways: pointer path, frozen
+// snapshot with quantization off (isolating the SoA layout, the
+// speedup_packed_layout gate), and the frozen snapshot through the float32
+// and int8 coarse-filter tiers (ISSUE 6). The speedup_quantized block
+// records each tier's gain over the pointer path; its best geomean is what
+// -min-quant-speedup gates. -quant picks the tier the counter-enabled
+// metrics pass runs under (default f32), which is where the
+// coarse_prune_rate figure comes from.
 //
 // The -min-scaling floor is adaptive: a runner with P schedulable cores
 // cannot scale past P, so the effective floor is
@@ -80,6 +90,25 @@ type metricsBlock struct {
 	PreparedReuseRate  float64           `json:"prepared_reuse_rate"`
 	SearchLatencyP50Ns float64           `json:"search_latency_p50_ns"`
 	SearchLatencyP99Ns float64           `json:"search_latency_p99_ns"`
+	// CoarsePruneRate is the fraction of packed candidates (child entries
+	// plus leaf items) the quantized pass settled without touching the
+	// exact float64 block, under the -quant tier of the metrics pass.
+	CoarsePruneRate float64 `json:"coarse_prune_rate"`
+}
+
+// quantBlock is the quantized coarse-filter speedup table (ISSUE 6): each
+// tier's traversal time against the pointer path on the same frozen
+// fixture. Best is the larger tier geomean — the number the
+// -min-quant-speedup gate reads.
+type quantBlock struct {
+	DFf32      float64 `json:"df_f32"`
+	HSf32      float64 `json:"hs_f32"`
+	DFi8       float64 `json:"df_i8"`
+	HSi8       float64 `json:"hs_i8"`
+	GeomeanF32 float64 `json:"geomean_f32"`
+	GeomeanI8  float64 `json:"geomean_i8"`
+	Best       float64 `json:"best"`
+	BestTier   string  `json:"best_tier"`
 }
 
 // scalingPoint is one engine throughput measurement: a fixed query batch
@@ -118,6 +147,7 @@ type report struct {
 	SpeedupPackedDF   float64         `json:"speedup_packed_layout_df"`
 	SpeedupPackedHS   float64         `json:"speedup_packed_layout_hs"`
 	SpeedupPacked     float64         `json:"speedup_packed_layout"` // geometric mean of DF and HS
+	SpeedupQuantized  quantBlock      `json:"speedup_quantized"`     // quantized tiers vs pointer path
 	BuildInsertNs     float64         `json:"build_insert_ns_per_item"`
 	BuildBulkNs       float64         `json:"build_bulkload_ns_per_item"`
 	BuildBulkSpeedup  float64         `json:"build_bulkload_speedup"`
@@ -132,7 +162,10 @@ type config struct {
 	Gate             string
 	MinSpeedup       float64
 	MinPackedSpeedup float64
+	MinQuantSpeedup  float64
+	MinSphereSpeedup float64
 	MinScaling       float64
+	Quant            knn.QuantMode
 	Profile          *obs.ProfileFlags
 }
 
@@ -143,12 +176,21 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&cfg.Out, "o", "BENCH_knn.json", "output file")
 	fs.StringVar(&cfg.Gate, "gate", "", "committed BENCH_knn.json to gate against (CI mode; exits non-zero on regression)")
 	fs.Float64Var(&cfg.MinSpeedup, "min-speedup", 1.3, "minimum prepared point-query speedup the gate accepts")
-	fs.Float64Var(&cfg.MinPackedSpeedup, "min-packed-speedup", 1.15, "minimum packed-layout search speedup the gate accepts")
+	fs.Float64Var(&cfg.MinPackedSpeedup, "min-packed-speedup", 1.15, "minimum packed-layout (quantization off) search speedup the gate accepts")
+	fs.Float64Var(&cfg.MinQuantSpeedup, "min-quant-speedup", 1.4, "minimum quantized-tier search speedup over the pointer path the gate accepts (best tier geomean)")
+	fs.Float64Var(&cfg.MinSphereSpeedup, "min-sphere-speedup", 1.5, "minimum prepared sphere-query speedup the gate accepts")
 	fs.Float64Var(&cfg.MinScaling, "min-scaling", 2.5, "minimum 8-worker throughput scaling the gate accepts on an 8-core runner (floor adapts down to min(value, 0.45*GOMAXPROCS), never below 0.8)")
+	quant := fs.String("quant", "f32", "quantized tier the counter-enabled metrics pass runs under (none, f32, i8)")
 	cfg.Profile = obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	qm, err := knn.ParseQuantMode(*quant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernel:", err)
+		return nil, err
+	}
+	cfg.Quant = qm
 	return cfg, nil
 }
 
@@ -163,14 +205,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep := buildReport()
+	rep := buildReport(cfg)
 
 	if err := writeReport(cfg.Out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchkernel:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (prepared point-query speedup %.2fx, sphere-query %.2fx; packed-layout speedup DF=%.2fx HS=%.2fx; 8-worker scaling %.2fx on %d core(s); knn allocs/search DF=%d HS=%d; prune rate %.2f; search p50=%.0fns p99=%.0fns)\n",
+	fmt.Printf("wrote %s (prepared point-query speedup %.2fx, sphere-query %.2fx; packed-layout speedup DF=%.2fx HS=%.2fx; quantized f32=%.2fx i8=%.2fx best=%s; coarse-prune rate %.2f; 8-worker scaling %.2fx on %d core(s); knn allocs/search DF=%d HS=%d; prune rate %.2f; search p50=%.0fns p99=%.0fns)\n",
 		cfg.Out, rep.SpeedupPointQ, rep.SpeedupSphereQ, rep.SpeedupPackedDF, rep.SpeedupPackedHS,
+		rep.SpeedupQuantized.GeomeanF32, rep.SpeedupQuantized.GeomeanI8, rep.SpeedupQuantized.BestTier,
+		rep.Metrics.CoarsePruneRate,
 		rep.Throughput.ScalingAtMax, rep.Throughput.GoMaxProcs, rep.KnnAllocsDF, rep.KnnAllocsHS,
 		rep.Metrics.PruneRate, rep.Metrics.SearchLatencyP50Ns, rep.Metrics.SearchLatencyP99Ns)
 	stop()
@@ -191,7 +235,7 @@ func main() {
 
 // buildReport runs all benchmarks and the metrics pass. Timing runs with
 // counters off; the metrics pass re-enables them and diffs the registry.
-func buildReport() report {
+func buildReport(cfg *config) report {
 	rep := report{Dim: 10, Queries: 512, KnnTreeItems: 10000, KnnK: 10}
 
 	wasOn := obs.On()
@@ -200,63 +244,113 @@ func buildReport() report {
 
 	sa, sb, points, spheres := pairWorkload(rand.New(rand.NewSource(123)), rep.Dim, rep.Queries)
 
-	perPoint := run("PreparedPair/PointQuery/PerTriple", &rep, func(b *testing.B) {
-		crit := dominance.Hyperbola{}
-		for i := 0; i < b.N; i++ {
-			for _, q := range points {
-				sink(crit.Dominates(sa, sb, q))
-			}
+	// Same round structure as the search section below: each cell keeps its
+	// fastest of three interleaved rounds so host-speed drift between the
+	// per-triple baseline and the prepared path cannot pose as (or mask) a
+	// speedup.
+	pairCells := []struct {
+		name string
+		qs   []geom.Sphere
+		prep bool
+	}{
+		{"PreparedPair/PointQuery/PerTriple", points, false},
+		{"PreparedPair/PointQuery/Prepared", points, true},
+		{"PreparedPair/SphereQuery/PerTriple", spheres, false},
+		{"PreparedPair/SphereQuery/Prepared", spheres, true},
+	}
+	var pairRows [4]kernelBench
+	for round := 0; round < 3; round++ {
+		for ci, cell := range pairCells {
+			qs, prep := cell.qs, cell.prep
+			pairRows[ci] = minBench(pairRows[ci], bench(func(b *testing.B) {
+				if prep {
+					pp := dominance.PreparePair(sa, sb)
+					for i := 0; i < b.N; i++ {
+						for _, q := range qs {
+							sink(pp.Dominates(q))
+						}
+					}
+					return
+				}
+				crit := dominance.Hyperbola{}
+				for i := 0; i < b.N; i++ {
+					for _, q := range qs {
+						sink(crit.Dominates(sa, sb, q))
+					}
+				}
+			}))
 		}
-	})
-	prepPoint := run("PreparedPair/PointQuery/Prepared", &rep, func(b *testing.B) {
-		pp := dominance.PreparePair(sa, sb)
-		for i := 0; i < b.N; i++ {
-			for _, q := range points {
-				sink(pp.Dominates(q))
-			}
-		}
-	})
-	perSphere := run("PreparedPair/SphereQuery/PerTriple", &rep, func(b *testing.B) {
-		crit := dominance.Hyperbola{}
-		for i := 0; i < b.N; i++ {
-			for _, q := range spheres {
-				sink(crit.Dominates(sa, sb, q))
-			}
-		}
-	})
-	prepSphere := run("PreparedPair/SphereQuery/Prepared", &rep, func(b *testing.B) {
-		pp := dominance.PreparePair(sa, sb)
-		for i := 0; i < b.N; i++ {
-			for _, q := range spheres {
-				sink(pp.Dominates(q))
-			}
-		}
-	})
-	rep.SpeedupPointQ = ratio(perPoint, prepPoint)
-	rep.SpeedupSphereQ = ratio(perSphere, prepSphere)
+	}
+	for ci, cell := range pairCells {
+		pairRows[ci].Name = cell.name
+		rep.Benchmarks = append(rep.Benchmarks, pairRows[ci])
+	}
+	rep.SpeedupPointQ = ratio(pairRows[0], pairRows[1])
+	rep.SpeedupSphereQ = ratio(pairRows[2], pairRows[3])
 	rep.SpeedupTargetMet = rep.SpeedupPointQ >= 1.5
 
 	tree, idx, queries := knnFixture(rep.KnnTreeItems, 8)
-	var ptr, packed [2]kernelBench
-	for pass := 0; pass < 2; pass++ {
-		// Pass 0 walks the pointer tree; pass 1 freezes it and walks the
-		// packed snapshot — same binary, same fixture, same queries, so the
-		// ratio isolates the layout.
-		label, rows := "Search/SS10k", &ptr
-		if pass == 1 {
-			tree.Freeze()
-			label, rows = "SearchPacked/SS10k", &packed
+	// Pass 0 walks the pointer tree; the rest walk the packed snapshot with
+	// quantization off (isolating the SoA layout, pass 1) and through the
+	// two coarse-filter tiers (passes 2-3) — same fixture, same queries, so
+	// every ratio isolates one mechanism. The packed passes run against a
+	// deterministic twin of the tree (same seed, same insert order,
+	// identical structure) that is frozen up front: with two trees the
+	// pointer and packed cells interleave within each round instead of
+	// running minutes apart on opposite sides of a Freeze call, so slow
+	// drift of the host cannot masquerade as a layout speedup — or erase
+	// one. The process default is QuantF32, so each pass pins its mode.
+	frozenTree, frozenIdx, _ := knnFixture(rep.KnnTreeItems, 8)
+	frozenTree.Freeze()
+	passes := []struct {
+		label string
+		mode  knn.QuantMode
+	}{
+		{"Search/SS10k", knn.QuantNone},
+		{"SearchPacked/SS10k", knn.QuantNone},
+		{"SearchQuantF32/SS10k", knn.QuantF32},
+		{"SearchQuantI8/SS10k", knn.QuantI8},
+	}
+	// Each cell keeps its fastest of five rounds: the passes share one
+	// noisy core, and a single back-to-back sweep folds scheduler jitter
+	// straight into the speedup ratios, so every round interleaves all
+	// eight cells and the minimum filters out the slow stretches.
+	var rows [4][2]kernelBench
+	prevMode := knn.QuantModeNow()
+	searchCell := func(pass int, algo knn.Algorithm) func(*testing.B) {
+		target := idx
+		if pass > 0 {
+			target = frozenIdx
 		}
-		for ai, algo := range []knn.Algorithm{knn.DF, knn.HS} {
-			algo := algo
-			rows[ai] = run(fmt.Sprintf("%s/%v", label, algo), &rep, func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					knn.Search(idx, queries[i%len(queries)], rep.KnnK, dominance.Hyperbola{}, algo)
-				}
-			})
+		knn.SetQuantMode(passes[pass].mode)
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				knn.Search(target, queries[i%len(queries)], rep.KnnK, dominance.Hyperbola{}, algo)
+			}
 		}
 	}
+	const searchRounds = 5
+	algos := []knn.Algorithm{knn.DF, knn.HS}
+	for round := 0; round < searchRounds; round++ {
+		for pass := range passes {
+			for ai, algo := range algos {
+				rows[pass][ai] = minBench(rows[pass][ai], bench(searchCell(pass, algo)))
+			}
+		}
+	}
+	knn.SetQuantMode(prevMode)
+	// The post-search sections (scaling, metrics) exercise the packed quant
+	// path on the primary fixture, so freeze it now that the pointer rounds
+	// are done.
+	tree.Freeze()
+	for pass, p := range passes {
+		for ai, algo := range algos {
+			rows[pass][ai].Name = fmt.Sprintf("%s/%v", p.label, algo)
+			rep.Benchmarks = append(rep.Benchmarks, rows[pass][ai])
+		}
+	}
+	ptr, packed := rows[0], rows[1]
 	rep.KnnAllocsDF, rep.KnnAllocsHS = ptr[0].AllocsPerOp, ptr[1].AllocsPerOp
 	rep.KnnAllocsPackedDF, rep.KnnAllocsPackedHS = packed[0].AllocsPerOp, packed[1].AllocsPerOp
 	rep.SpeedupPackedDF = ratio(ptr[0], packed[0])
@@ -266,10 +360,25 @@ func buildReport() report {
 	// the way a min() would.
 	rep.SpeedupPacked = math.Sqrt(rep.SpeedupPackedDF * rep.SpeedupPackedHS)
 
+	q := &rep.SpeedupQuantized
+	q.DFf32, q.HSf32 = ratio(ptr[0], rows[2][0]), ratio(ptr[1], rows[2][1])
+	q.DFi8, q.HSi8 = ratio(ptr[0], rows[3][0]), ratio(ptr[1], rows[3][1])
+	q.GeomeanF32 = math.Sqrt(q.DFf32 * q.HSf32)
+	q.GeomeanI8 = math.Sqrt(q.DFi8 * q.HSi8)
+	q.Best, q.BestTier = q.GeomeanF32, "f32"
+	if q.GeomeanI8 > q.Best {
+		q.Best, q.BestTier = q.GeomeanI8, "i8"
+	}
+
 	rep.BuildInsertNs, rep.BuildBulkNs, rep.BuildBulkSpeedup = buildCost(&rep)
 	rep.Throughput = measureScaling(&rep, idx, queries, rep.KnnK)
 
+	// The metrics pass runs under the -quant tier so the coarse-filter
+	// counters (and the derived prune rate) describe the configuration the
+	// user asked about.
+	knn.SetQuantMode(cfg.Quant)
 	rep.Metrics = captureMetrics(idx, queries, rep.KnnK, sa, sb, points)
+	knn.SetQuantMode(prevMode)
 	return rep
 }
 
@@ -390,6 +499,13 @@ func captureMetrics(idx knn.Index, queries []geom.Sphere, k int, sa, sb geom.Sph
 	if q := sweep.Get("dominance.prepared.queries"); q > 0 {
 		m.PreparedReuseRate = float64(sweep.Get("dominance.prepared.reuse_hits")) / float64(q)
 	}
+	// Coarse-filter effectiveness: candidates settled by the narrow bounds
+	// over all candidates the quantized pass looked at. Zero when the
+	// metrics pass ran with -quant none.
+	coarse := diff.Get("packed.quant.node_coarse_prunes") + diff.Get("packed.quant.item_coarse_prunes")
+	if total := coarse + diff.Get("packed.quant.node_exact_fallbacks") + diff.Get("packed.quant.item_exact_fallbacks"); total > 0 {
+		m.CoarsePruneRate = float64(coarse) / float64(total)
+	}
 	lat := obs.MergedHist("knn.search_latency")
 	m.SearchLatencyP50Ns = lat.Quantile(0.5)
 	m.SearchLatencyP99Ns = lat.Quantile(0.99)
@@ -410,6 +526,15 @@ func gateReport(current, committed report, cfg *config) []string {
 	if current.SpeedupPacked < cfg.MinPackedSpeedup {
 		failures = append(failures, fmt.Sprintf(
 			"packed-layout search speedup %.2fx below floor %.2fx", current.SpeedupPacked, cfg.MinPackedSpeedup))
+	}
+	if current.SpeedupQuantized.Best < cfg.MinQuantSpeedup {
+		failures = append(failures, fmt.Sprintf(
+			"quantized search speedup %.2fx (best tier %s) below floor %.2fx",
+			current.SpeedupQuantized.Best, current.SpeedupQuantized.BestTier, cfg.MinQuantSpeedup))
+	}
+	if current.SpeedupSphereQ < cfg.MinSphereSpeedup {
+		failures = append(failures, fmt.Sprintf(
+			"prepared sphere-query speedup %.2fx below floor %.2fx", current.SpeedupSphereQ, cfg.MinSphereSpeedup))
 	}
 	// A pool of 8 workers cannot scale past the cores it runs on, so the
 	// floor adapts: min(-min-scaling, 0.45·GOMAXPROCS), never below 0.8 —
@@ -467,15 +592,31 @@ func readReport(path string) (report, error) {
 // run executes one testing.Benchmark, appends the row to the report and
 // returns it.
 func run(name string, rep *report, fn func(*testing.B)) kernelBench {
+	kb := bench(fn)
+	kb.Name = name
+	rep.Benchmarks = append(rep.Benchmarks, kb)
+	return kb
+}
+
+// bench measures one configuration without recording it, so callers can
+// take the best of several rounds before reporting.
+func bench(fn func(*testing.B)) kernelBench {
 	r := testing.Benchmark(fn)
-	kb := kernelBench{
-		Name:        name,
+	return kernelBench{
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 	}
-	rep.Benchmarks = append(rep.Benchmarks, kb)
-	return kb
+}
+
+// minBench keeps the faster of two measurements of the same configuration
+// (a zero-value best, from before any round ran, always loses).
+func minBench(best, next kernelBench) kernelBench {
+	if best.NsPerOp == 0 || next.NsPerOp < best.NsPerOp {
+		next.Name = best.Name
+		return next
+	}
+	return best
 }
 
 func ratio(base, fast kernelBench) float64 {

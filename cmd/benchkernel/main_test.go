@@ -28,8 +28,17 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.MinPackedSpeedup != 1.15 {
 		t.Errorf("MinPackedSpeedup = %v, want 1.15", cfg.MinPackedSpeedup)
 	}
+	if cfg.MinQuantSpeedup != 1.4 {
+		t.Errorf("MinQuantSpeedup = %v, want 1.4", cfg.MinQuantSpeedup)
+	}
+	if cfg.MinSphereSpeedup != 1.5 {
+		t.Errorf("MinSphereSpeedup = %v, want 1.5", cfg.MinSphereSpeedup)
+	}
 	if cfg.MinScaling != 2.5 {
 		t.Errorf("MinScaling = %v, want 2.5", cfg.MinScaling)
+	}
+	if cfg.Quant != knn.QuantF32 {
+		t.Errorf("Quant = %v, want f32", cfg.Quant)
 	}
 	if cfg.Profile == nil || cfg.Profile.Wanted() {
 		t.Errorf("Profile = %+v, want registered and idle", cfg.Profile)
@@ -55,6 +64,9 @@ func TestParseFlagsAll(t *testing.T) {
 func TestParseFlagsBad(t *testing.T) {
 	if _, err := parseFlags([]string{"-min-speedup", "not-a-number"}); err == nil {
 		t.Error("bad flag value accepted")
+	}
+	if _, err := parseFlags([]string{"-quant", "f16"}); err == nil {
+		t.Error("unknown quant tier accepted")
 	}
 }
 
@@ -110,7 +122,8 @@ func TestReadReportMissing(t *testing.T) {
 }
 
 func TestGateReport(t *testing.T) {
-	cfg := &config{MinSpeedup: 1.3, MinPackedSpeedup: 1.15, MinScaling: 2.5}
+	cfg := &config{MinSpeedup: 1.3, MinPackedSpeedup: 1.15,
+		MinQuantSpeedup: 1.4, MinSphereSpeedup: 1.5, MinScaling: 2.5}
 	committed := report{
 		KnnAllocsDF: 2, KnnAllocsHS: 2,
 		KnnAllocsPackedDF: 2, KnnAllocsPackedHS: 2,
@@ -118,8 +131,9 @@ func TestGateReport(t *testing.T) {
 	// Single core: the adaptive scaling floor collapses to 0.8, so flat
 	// 1.0x scaling passes.
 	ok := report{
-		SpeedupPointQ: 1.9, SpeedupPacked: 1.2,
-		KnnAllocsDF: 2, KnnAllocsHS: 1,
+		SpeedupPointQ: 1.9, SpeedupSphereQ: 1.8, SpeedupPacked: 1.2,
+		SpeedupQuantized: quantBlock{Best: 1.6, BestTier: "f32"},
+		KnnAllocsDF:      2, KnnAllocsHS: 1,
 		KnnAllocsPackedDF: 2, KnnAllocsPackedHS: 2,
 		Throughput: throughputBlock{GoMaxProcs: 1, ScalingAtMax: 1.0},
 	}
@@ -127,16 +141,18 @@ func TestGateReport(t *testing.T) {
 		t.Errorf("clean report failed the gate: %v", failures)
 	}
 	// Eight cores: the full -min-scaling bar applies, and every ratio and
-	// alloc count here regresses — one failure per gate.
+	// alloc count here regresses — one failure per gate (point-query,
+	// packed, quantized, sphere-query, scaling, four alloc rows).
 	bad := report{
-		SpeedupPointQ: 1.1, SpeedupPacked: 1.0,
-		KnnAllocsDF: 3, KnnAllocsHS: 5,
+		SpeedupPointQ: 1.1, SpeedupSphereQ: 1.0, SpeedupPacked: 1.0,
+		SpeedupQuantized: quantBlock{Best: 1.1, BestTier: "i8"},
+		KnnAllocsDF:      3, KnnAllocsHS: 5,
 		KnnAllocsPackedDF: 3, KnnAllocsPackedHS: 4,
 		Throughput: throughputBlock{GoMaxProcs: 8, ScalingAtMax: 1.2},
 	}
 	failures := gateReport(bad, committed, cfg)
-	if len(failures) != 7 {
-		t.Errorf("regressed report produced %d failures, want 7: %v", len(failures), failures)
+	if len(failures) != 9 {
+		t.Errorf("regressed report produced %d failures, want 9: %v", len(failures), failures)
 	}
 	// Even one core must not make queries slower through the pool: scaling
 	// under 0.8 fails regardless of GOMAXPROCS.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	knnbench [-fig N] [-scale S] [-seed N] [-parallel 1,2,4,8]
+//	knnbench [-fig N] [-scale S] [-seed N] [-quant none|f32|i8] [-parallel 1,2,4,8]
 //
 //	-fig      figure to run: 13, 14, 15, 16, or 0 for all (default 0);
 //	          17 runs the index-comparison extension experiment
@@ -13,6 +13,9 @@
 //	-seed     RNG seed (default 1)
 //	-shadow   audit every dominance check against Hyperbola and count
 //	          per-criterion disagreements (Table 1 in vivo; slows checks)
+//	-quant    quantized coarse-filter tier for frozen-snapshot searches
+//	          (none, f32, i8; default f32 — results are identical across
+//	          tiers, only the traversal cost changes; see DESIGN.md §12)
 //	-parallel comma-separated worker-pool widths; runs the batch-engine
 //	          scaling experiment over a frozen SS-tree instead of the
 //	          figures and prints a queries/s table per width
@@ -34,6 +37,7 @@ import (
 
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/experiments"
+	"hyperdom/internal/knn"
 	"hyperdom/internal/obs"
 )
 
@@ -45,12 +49,20 @@ func main() {
 		"shadow-evaluate every dominance check against Hyperbola and count per-criterion disagreements")
 	parallel := flag.String("parallel", "",
 		"comma-separated engine pool widths (e.g. 1,2,4,8); runs the batch-engine scaling experiment instead of the figures")
+	quant := flag.String("quant", "f32",
+		"quantized coarse-filter tier for frozen-snapshot searches (none, f32, i8)")
 	pf := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *shadow {
 		dominance.SetShadow(true)
 	}
+	qm, err := knn.ParseQuantMode(*quant)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "knnbench: -quant: %v\n", err)
+		os.Exit(2)
+	}
+	knn.SetQuantMode(qm)
 
 	// Figure timings must stay comparable to the paper's, so the counter
 	// gate stays off unless observability output was actually asked for.

@@ -21,6 +21,13 @@ var (
 	obsPrepFalse   = obs.New("dominance.prepared.verdict_false")
 	obsPrepOverlap = obs.New("dominance.prepared.overlap_shortcircuit")
 	obsPrepReuse   = obs.New("dominance.prepared.reuse_hits")
+
+	// Coarse-filter outcomes (ISSUE 6): fat-sphere queries the dmin
+	// bracket settled without the curve search + quartic solve. The
+	// verdicts are identical either way; these counters say how often the
+	// expensive tail was skipped.
+	obsPrepCoarseAccept = obs.New("dominance.prepared.coarse_accepts")
+	obsPrepCoarseReject = obs.New("dominance.prepared.coarse_rejects")
 )
 
 // histPreparedBatch times whole DominatesBatch sweeps (ISSUE 3): the
@@ -42,13 +49,15 @@ const obsFlushEvery = 1 << 12
 // at ~30ns per point query. Reset preserves the tally across pair changes;
 // FlushObs (or the obsFlushEvery threshold) drains it into the registry.
 type pairTally struct {
-	resets   uint64
-	queries  uint64
-	trues    uint64
-	falses   uint64
-	overlaps uint64
-	quartics uint64
-	reuse    uint64
+	resets        uint64
+	queries       uint64
+	trues         uint64
+	falses        uint64
+	overlaps      uint64
+	quartics      uint64
+	reuse         uint64
+	coarseAccepts uint64
+	coarseRejects uint64
 }
 
 // flushObs drains the local tally into the global counters and zeroes it.
@@ -74,6 +83,12 @@ func (p *PreparedPair) flushObs() {
 	}
 	if t.reuse != 0 {
 		obsPrepReuse.Add(t.reuse)
+	}
+	if t.coarseAccepts != 0 {
+		obsPrepCoarseAccept.Add(t.coarseAccepts)
+	}
+	if t.coarseRejects != 0 {
+		obsPrepCoarseReject.Add(t.coarseRejects)
 	}
 	*t = pairTally{}
 }

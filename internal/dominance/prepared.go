@@ -85,15 +85,27 @@ func (p *PreparedPair) Reset(sa, sb geom.Sphere) {
 		dcc2 += e * e
 	}
 	rab := sa.Radius + sb.Radius
-	*p = PreparedPair{ca: ca, cb: cb, dim: d, rab: rab,
-		obsOn: obs.On(), fresh: true, tally: p.tally}
+	// Field-by-field reinitialisation: a `*p = PreparedPair{...}` literal
+	// zero-fills and copies the whole struct (runtime.duffcopy) on every
+	// Reset, which the kNN search's per-offer eviction checks turned into
+	// a top-ten profile entry. Every field below is either assigned on
+	// this path or only read on branches that assigned it first (the
+	// quartic block is read only when Reset's tail ran for this pair), so
+	// skipping the zero-fill changes nothing.
+	p.ca, p.cb = ca, cb
+	p.dim = d
+	p.rab = rab
+	p.obsOn = obs.On()
+	p.fresh = true
 	if p.obsOn {
 		p.tally.resets++
 	}
 	if dcc2 <= rab*rab {
 		p.overlap = true
+		p.line = false
 		return
 	}
+	p.overlap = false
 	dcc := math.Sqrt(dcc2)
 	p.alpha = dcc / 2
 	p.twoDcc = 2 * dcc
@@ -188,6 +200,24 @@ func (p *PreparedPair) Dominates(sq geom.Sphere) bool {
 		}
 		return true
 	}
+	// Coarse accept (ISSUE 6): every point Z of the dominance boundary
+	// satisfies db(Z) − da(Z) = rab, so the triangle inequality through each
+	// focus gives db − da − rab ≤ 2·dist(cq, Z), i.e. dmin ≥ (db−da−rab)/2 —
+	// a lower bound available before the canonical-frame reduction even
+	// runs. The absolute margin scales with db+da because the rounding of
+	// the two square roots (and of the frame coordinates the full path
+	// derives from them) is relative to the focal distances, not to their
+	// difference; 1e-12 clears that ~1e-15 noise by three orders, so
+	// whenever this test passes the full path's computed dmin clears the
+	// radius too, for every dmin branch (line, planar, hyperbola). A NaN or
+	// Inf−Inf operand settles the comparison false and falls through.
+	if (db-da-p.rab)*0.5-1e-12*(db+da) > sq.Radius {
+		if on {
+			p.tally.coarseAccepts++
+			p.tally.trues++
+		}
+		return true
+	}
 	// Canonical coordinates of cq, exactly as reduce computes them.
 	p1 := (da2 - db2) / p.twoDcc
 	p22 := da2 - (p1+p.alpha)*(p1+p.alpha)
@@ -195,7 +225,40 @@ func (p *PreparedPair) Dominates(sq geom.Sphere) bool {
 		p22 = 0
 	}
 	p2 := math.Sqrt(p22)
-	v := p.dmin(p1, p2) > sq.Radius
+	var v bool
+	if p.line || p.rab == 0 {
+		v = p.dmin(p1, p2) > sq.Radius
+	} else {
+		// Coarse filter (ISSUE 6): bracket dmin before paying for the
+		// quartic. d0 is dmin's first candidate distToY(0), inlined
+		// verbatim so it stays bit-identical even on degenerate frames
+		// (b2 = 0 makes the 0/b2 term NaN — so d0, and then dmin, is NaN
+		// too, and the reject arm settles the same false verdict the full
+		// path would). Since dmin only ever shrinks from d0, !(d0 > radius)
+		// settles the verdict false with zero slack. For the accept side,
+		// every candidate the search takes a distance to lies on the branch
+		// x ≤ −A, hence dist ≥ p1 − x ≥ p1 + A; the 1e-9 shave absorbs the
+		// few-ulp rounding of Hypot and the branch evaluation (error
+		// ~1e-15), so clearing it guarantees the computed dmin clears the
+		// radius too. Both short-circuits reproduce the full computation's
+		// verdict exactly — FuzzPreparedPairAgree leans on that.
+		x0 := -p.hA * math.Sqrt(1+0/p.b2)
+		d0 := math.Hypot(p1-x0, p2)
+		switch {
+		case !(d0 > sq.Radius):
+			if on {
+				p.tally.coarseRejects++
+			}
+			v = false
+		case (p1+p.hA)*(1-1e-9) > sq.Radius:
+			if on {
+				p.tally.coarseAccepts++
+			}
+			v = true
+		default:
+			v = p.dminBeats(d0, p1, p2, sq.Radius)
+		}
+	}
 	if on {
 		if v {
 			p.tally.trues++
@@ -216,6 +279,72 @@ func (p *PreparedPair) dmin(p1, p2 float64) float64 {
 	if p.rab == 0 {
 		return math.Abs(p1)
 	}
+	x0 := -p.hA * math.Sqrt(1+0/p.b2)
+	return p.dminTail(math.Hypot(p1-x0, p2), p1, p2)
+}
+
+// dminBeats reports p.dminTail(d0, p1, p2) > r without always paying for
+// the quartic: dmin is the minimum over a fixed candidate sequence, so the
+// moment a running prefix of it fails to clear r the final value fails too
+// (later candidates only lower the minimum) and the verdict is settled
+// false. A NaN prefix settles false exactly as the full path's NaN dmin
+// would. Only checks that still clear r after the closed-form candidates
+// reach the quartic, which is what keeps the quartic_solves counter an
+// honest count of solves actually performed.
+func (p *PreparedPair) dminBeats(d0, p1, p2, r float64) bool {
+	hA, b2 := p.hA, p.b2
+
+	dmin := d0
+
+	if y := p2 * b2 / p.alpha2; y != 0 {
+		x := -hA * math.Sqrt(1+y*y/b2)
+		if dd := math.Hypot(p1-x, p2-y); dd < dmin {
+			dmin = dd
+		}
+	}
+	if !(dmin > r) {
+		return false
+	}
+
+	if x := p1 * hA * hA / p.alpha2; x < 0 {
+		if y2 := b2 * (x*x/p.hA2 - 1); y2 > 0 {
+			y := math.Sqrt(y2)
+			xx := -hA * math.Sqrt(1+y*y/b2)
+			if dd := math.Hypot(p1-xx, p2-y); dd < dmin {
+				dmin = dd
+			}
+		}
+	}
+	if !(dmin > r) {
+		return false
+	}
+
+	if p.obsOn {
+		p.tally.quartics++
+	}
+	P1 := p1 / p.alpha
+	P2 := p2 / p.alpha
+	q3 := p.c3 * P2
+	q2 := p.hatB2 * (1 + p.hatB2*P2*P2 - p.hatA2*P1*P1)
+	q1 := p.c1 * P2
+	q0 := p.c0 * P2 * P2
+
+	roots, n := poly.Quartic4(1.0, q3, q2, q1, q0)
+	for _, y := range roots[:n] {
+		x := -hA * math.Sqrt(1+(p.alpha*y)*(p.alpha*y)/b2)
+		if dd := math.Hypot(p1-x, p2-p.alpha*y); dd < dmin {
+			dmin = dd
+		}
+	}
+	return dmin > r
+}
+
+// dminTail is dmin's general (hyperbola) branch with the y = 0 seed
+// candidate hoisted to the caller: d0 must be distToY(0) bit for bit
+// (inlined as -hA·√(1+0/b2), the 0/b2 term preserving the NaN of a
+// degenerate b2 = 0 frame), so the coarse filter in Dominates can reuse
+// it instead of computing it twice.
+func (p *PreparedPair) dminTail(d0, p1, p2 float64) float64 {
 	hA, b2 := p.hA, p.b2
 
 	distToY := func(y float64) float64 {
@@ -225,7 +354,7 @@ func (p *PreparedPair) dmin(p1, p2 float64) float64 {
 		return math.Hypot(dx, dy)
 	}
 
-	dmin := distToY(0)
+	dmin := d0
 
 	if y := p2 * b2 / p.alpha2; y != 0 {
 		if dd := distToY(y); dd < dmin {

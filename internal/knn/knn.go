@@ -332,8 +332,25 @@ func (l *bestList) offerDist(it Item, dist float64) {
 // it dominated.
 func (l *bestList) evictDominated() {
 	sk := l.sk()
+	dk := l.entries[l.k-1].maxDist
 	kept := l.entries[:0]
 	for _, e := range l.entries {
+		// DCMinMax fast path: MinDist(e,Sq) > MaxDist(Sk,Sq) proves Sk
+		// dominates e from the cached entry bounds alone — the same Lemma 9
+		// argument Case 3 relies on — so the prepared-pair machinery never
+		// runs and no DomCheck is recorded (it is a bound comparison, not a
+		// criterion invocation; spans, shadow audits and the DomChecks stat
+		// all track criterion invocations and stay equal by construction).
+		// Entries can hold MinDist > distk only because distk shrank after
+		// they were admitted, which is exactly the population this evicts.
+		// Evicted members land in deferred either way and finish()
+		// re-filters every entry against the final Sk, so which proof
+		// evicts is invisible in the answer.
+		if e.minDist > dk {
+			l.notePrune(obs.PhaseEvict, e)
+			l.deferred = append(l.deferred, e)
+			continue
+		}
 		if l.check(obs.PhaseEvict, sk.Sphere, e.item.Sphere, e.item.ID) {
 			l.notePrune(obs.PhaseEvict, e)
 			l.deferred = append(l.deferred, e)

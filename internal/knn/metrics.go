@@ -37,6 +37,17 @@ var (
 	obsBruteSearches = obs.New("knn.brute_force_searches")
 )
 
+// Quantized coarse-filter counters (ISSUE 6): how often the narrow-tier
+// pass settled a candidate (coarse prune) versus deferring to the exact
+// float64 block (exact fallback), split by child entries and leaf items.
+// prunes/(prunes+fallbacks) is the coarse hit-rate the bench reports.
+var (
+	obsQuantNodePrunes = obs.New("packed.quant.node_coarse_prunes")
+	obsQuantNodeExact  = obs.New("packed.quant.node_exact_fallbacks")
+	obsQuantItemPrunes = obs.New("packed.quant.item_coarse_prunes")
+	obsQuantItemExact  = obs.New("packed.quant.item_exact_fallbacks")
+)
+
 // substrate indexes the per-substrate latency histograms and flight-record
 // labels. It mirrors the adapter type switch in flushObs.
 type substrate uint8
@@ -123,6 +134,18 @@ func (sc *scratch) flushObs(idx Index, algo Algorithm, k int, start time.Time, s
 	if sc.dfExpansions != 0 {
 		obsDFExpansions.Add(sc.dfExpansions)
 	}
+	if sc.qNodePrunes != 0 {
+		obsQuantNodePrunes.Add(sc.qNodePrunes)
+	}
+	if sc.qNodeExact != 0 {
+		obsQuantNodeExact.Add(sc.qNodeExact)
+	}
+	if sc.qItemPrunes != 0 {
+		obsQuantItemPrunes.Add(sc.qItemPrunes)
+	}
+	if sc.qItemExact != 0 {
+		obsQuantItemExact.Add(sc.qItemExact)
+	}
 	if sc.list.deferMerges != 0 {
 		obsDeferMerges.Add(sc.list.deferMerges)
 		obsDeferItems.Add(sc.list.deferItems)
@@ -167,5 +190,7 @@ func (sc *scratch) clearObsTallies() {
 	sc.ssHeap.pushes, sc.ssHeap.pops, sc.ssHeap.grown = 0, 0, 0
 	sc.pHeap.pushes, sc.pHeap.pops, sc.pHeap.grown = 0, 0, 0
 	sc.dfExpansions = 0
+	sc.qNodePrunes, sc.qNodeExact = 0, 0
+	sc.qItemPrunes, sc.qItemExact = 0, 0
 	sc.list.deferMerges, sc.list.deferItems = 0, 0
 }

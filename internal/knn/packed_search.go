@@ -1,6 +1,8 @@
 package knn
 
 import (
+	"math"
+
 	"hyperdom/internal/geom"
 	"hyperdom/internal/obs"
 	"hyperdom/internal/packed"
@@ -9,6 +11,27 @@ import (
 // obsSearchPacked counts searches answered off a frozen SoA snapshot
 // (ISSUE 5) rather than the pointer-chasing node path.
 var obsSearchPacked = obs.New("knn.searches.packed")
+
+// quantNodePhase gates the node-level (child bounds) coarse pass. Measured
+// on the 10k-item bench fixture, only ~20% of children prune at node level
+// (vs ~99% of leaf items): the narrow select pass plus per-survivor exact
+// re-scoring costs more than the streaming exact kernel it replaces, so the
+// traversals run the coarse filter at leaf granularity only. The node
+// kernels and accessors stay built and tested should a workload with
+// heavier node-level pruning want them back.
+const quantNodePhase = false
+
+// quantOn reports whether this search should run the two-phase
+// coarse-filter loops (ISSUE 6): a quantized tier is selected, the search
+// is not being traced (the trace schema records exact per-entry distances,
+// which the coarse pass deliberately never computes), and the best-list is
+// full with a usable threshold (0 <= dk < +Inf: an unbounded dk can prune
+// nothing, and a negative one — possible only with degenerate data spheres
+// — would reintroduce the mixed-sign cancellation the select kernels'
+// threshold arithmetic excludes; see vec/quant.go).
+func (sc *scratch) quantOn(dk float64) bool {
+	return sc.quant != packed.TierNone && sc.tb == nil && dk >= 0 && !math.IsInf(dk, 1)
+}
 
 // frozenOf returns the substrate's cached packed snapshot, or nil when the
 // index is not one of the three tree adapters or has not been frozen (or
@@ -50,9 +73,9 @@ func packedNodeID(n int32) uint64 { return uint64(n) + 1 }
 // the identical ItemPrune spans.
 func (sc *scratch) offerLeafPacked(t *packed.Tree, n int32, sq geom.Sphere, l *bestList) int32 {
 	items := t.LeafItems(n)
-	sc.pBuf = growTo(sc.pBuf, len(items))
-	t.LeafDists(n, sq.Center, sc.pBuf)
 	if l.tb != nil {
+		sc.pBuf = growTo(sc.pBuf, len(items))
+		t.LeafDists(n, sq.Center, sc.pBuf)
 		for i, it := range items {
 			l.offerDist(it, sc.pBuf[i])
 		}
@@ -61,6 +84,37 @@ func (sc *scratch) offerLeafPacked(t *packed.Tree, n int32, sq geom.Sphere, l *b
 	radii := t.ItemRadii(n)
 	qr := sq.Radius
 	dk := l.distK()
+	if sc.quantOn(dk) {
+		// Two-phase (ISSUE 6): one select pass over the narrow tier drops
+		// every item whose lower bound certifies Case 3 against the distk at
+		// leaf entry — same Items/Pruned accounting, and neither the exact
+		// center block nor a sqrt is ever touched. Survivors replay the
+		// exact per-item logic bit for bit (LeafDistAt == DistBlock entry)
+		// against the live distk, so list state and Stats match the exact
+		// pass: distk only shrinks as items are offered, which keeps the
+		// entry-distk coarse decisions valid (they prune a subset of what
+		// the live value would).
+		sc.qSel = growToI32(sc.qSel, len(items))
+		nsel := t.LeafQuantSelect(sc.quant, n, sq, dk, sc.qSel)
+		dropped := len(items) - nsel
+		sc.qItemPrunes += uint64(dropped)
+		sc.qItemExact += uint64(nsel)
+		l.stats.Items += dropped
+		l.stats.Pruned += dropped
+		for _, i := range sc.qSel[:nsel] {
+			dist := t.LeafDistAt(n, i, sq.Center)
+			if dist-radii[i]-qr > dk {
+				l.stats.Items++
+				l.stats.Pruned++
+				continue
+			}
+			l.offerDist(items[i], dist)
+			dk = l.distK()
+		}
+		return int32(len(items))
+	}
+	sc.pBuf = growTo(sc.pBuf, len(items))
+	t.LeafDists(n, sq.Center, sc.pBuf)
 	for i := range items {
 		dist := sc.pBuf[i]
 		if dist-radii[i]-qr > dk {
@@ -95,9 +149,32 @@ func (sc *scratch) searchDFPacked(t *packed.Tree, n int32, nd float64, sq geom.S
 	kids := t.Children(n)
 	nc := len(kids)
 	sc.dfExpansions += uint64(nc)
-	sc.pStack = append(sc.pStack, kids...)
-	sc.pDists = growTo(sc.pDists, base+nc)
-	t.ChildMinDists(n, sq, sc.pDists[base:base+nc])
+	// Two-phase expansion (ISSUE 6): score every child off the narrow tier
+	// first and compute the exact mindist only for children whose bound
+	// does not already exceed distk. Dropped children are exactly the ones
+	// the exact path would never recurse into: their exact mindist is >= the
+	// bound > distk-at-expansion >= distk at any later point of this visit
+	// loop (distk only shrinks), so the sorted visit sequence, the break
+	// point and every Stats field are unchanged. Restricted to fan-outs the
+	// stable insertion sort handles (<= 48): subsetting survivors under the
+	// heapsort fallback could reorder equal-distance children relative to
+	// the pointer path's full-array sort.
+	if quantNodePhase && sc.quantOn(l.distK()) && nc <= 48 {
+		dk := l.distK()
+		sc.qSel = growToI32(sc.qSel, nc)
+		nsel := t.ChildQuantSelect(sc.quant, n, sq, dk, sc.qSel)
+		sc.qNodePrunes += uint64(nc - nsel)
+		sc.qNodeExact += uint64(nsel)
+		for _, i := range sc.qSel[:nsel] {
+			sc.pStack = append(sc.pStack, kids[i])
+			sc.pDists = append(sc.pDists, t.ChildMinDistAt(n, i, sq))
+		}
+		nc = len(sc.pStack) - base
+	} else {
+		sc.pStack = append(sc.pStack, kids...)
+		sc.pDists = growTo(sc.pDists, base+nc)
+		t.ChildMinDists(n, sq, sc.pDists[base:base+nc])
+	}
 	sortByDist(sc.pStack[base:base+nc], sc.pDists[base:base+nc])
 	for i := 0; i < nc; i++ {
 		if sc.pDists[base+i] > l.distK() {
@@ -118,60 +195,66 @@ func (sc *scratch) searchDFPacked(t *packed.Tree, n int32, nd float64, sq geom.S
 }
 
 // pHeap is the best-first frontier over packed node ids, mirroring ssHeap.
+// Unlike its cursor-based siblings it stores each (dist, id) pair in one
+// struct: a sift step then touches one cache line per level instead of two
+// (the parallel-slice layout showed up as pure memory stalls in profiles),
+// and since the comparisons and swap structure are unchanged the pop order
+// — and with it the packed/pointer bit-identity — is too.
 type pHeap struct {
-	ids   []int32
-	dists []float64
+	es []pHeapEntry
 
 	// Scratch-local observability tallies, as in nodeHeap.
 	pushes, pops, grown uint64
 }
 
-func (h *pHeap) len() int { return len(h.ids) }
+type pHeapEntry struct {
+	dist float64
+	id   int32
+}
+
+func (h *pHeap) len() int { return len(h.es) }
 
 func (h *pHeap) push(n int32, d float64) {
 	h.pushes++
-	if len(h.ids) == cap(h.ids) {
+	if len(h.es) == cap(h.es) {
 		h.grown++
 	}
-	h.ids = append(h.ids, n)
-	h.dists = append(h.dists, d)
-	i := len(h.ids) - 1
+	h.es = append(h.es, pHeapEntry{d, n})
+	i := len(h.es) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.dists[p] <= h.dists[i] {
+		if h.es[p].dist <= h.es[i].dist {
 			break
 		}
-		h.ids[p], h.ids[i] = h.ids[i], h.ids[p]
-		h.dists[p], h.dists[i] = h.dists[i], h.dists[p]
+		h.es[p], h.es[i] = h.es[i], h.es[p]
 		i = p
 	}
 }
 
 func (h *pHeap) pop() (int32, float64) {
 	h.pops++
-	n, d := h.ids[0], h.dists[0]
-	last := len(h.ids) - 1
-	h.ids[0], h.dists[0] = h.ids[last], h.dists[last]
-	h.ids = h.ids[:last]
-	h.dists = h.dists[:last]
+	e := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
 	h.siftDown(0)
-	return n, d
+	return e.id, e.dist
 }
 
 func (h *pHeap) siftDown(i int) {
+	es := h.es
 	for {
 		c := 2*i + 1
-		if c >= len(h.ids) {
+		if c >= len(es) {
 			return
 		}
-		if c+1 < len(h.ids) && h.dists[c+1] < h.dists[c] {
+		if c+1 < len(es) && es[c+1].dist < es[c].dist {
 			c++
 		}
-		if h.dists[i] <= h.dists[c] {
+		if es[i].dist <= es[c].dist {
 			return
 		}
-		h.ids[i], h.ids[c] = h.ids[c], h.ids[i]
-		h.dists[i], h.dists[c] = h.dists[c], h.dists[i]
+		es[i], es[c] = es[c], es[i]
 		i = c
 	}
 }
@@ -207,6 +290,24 @@ func (sc *scratch) searchHSPacked(t *packed.Tree, sq geom.Sphere, l *bestList) {
 		// when an item is offered, and this loop only pushes child nodes.
 		dk := l.distK()
 		kids := t.Children(n)
+		if quantNodePhase && sc.quantOn(dk) {
+			// Two-phase (ISSUE 6): a narrow bound beyond distk certifies
+			// the exact mindist is too, so the child is skipped without
+			// touching the exact block — the pointer path would not have
+			// pushed it either. Survivors are scored exactly and pushed in
+			// the same index order as the exact pass, so the heap stays
+			// bit-identical.
+			sc.qSel = growToI32(sc.qSel, len(kids))
+			nsel := t.ChildQuantSelect(sc.quant, n, sq, dk, sc.qSel)
+			sc.qNodePrunes += uint64(len(kids) - nsel)
+			sc.qNodeExact += uint64(nsel)
+			for _, i := range sc.qSel[:nsel] {
+				if d := t.ChildMinDistAt(n, i, sq); d <= dk {
+					h.push(kids[i], d)
+				}
+			}
+			continue
+		}
 		sc.pBuf = growTo(sc.pBuf, len(kids))
 		t.ChildMinDists(n, sq, sc.pBuf)
 		for i, c := range kids {

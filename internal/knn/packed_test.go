@@ -3,6 +3,7 @@ package knn
 import (
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"hyperdom/internal/dominance"
@@ -39,12 +40,18 @@ func buildFixtures(rng *rand.Rand, d, n int) ([]Item, []frozenFixture) {
 	}
 }
 
-// TestPackedMatchesPointer is the differential lock of ISSUE 5: on every
-// substrate and both traversal strategies, a frozen tree must return the
-// exact result list (items AND order) and the exact work Stats the pointer
-// path returns, because the packed kernels and traversal order are
-// bit-identical by construction.
+// TestPackedMatchesPointer is the differential lock of ISSUE 5, widened by
+// ISSUE 6 over the quantization modes: on every substrate, both traversal
+// strategies and every quant tier (none, f32, i8), a frozen tree must
+// return the exact result list (items AND order) and the exact work Stats
+// the pointer path returns. The tiers keep even Stats identical because a
+// coarse prune takes exactly the branch the exact value would have taken —
+// the narrow pass only decides *when* the exact block is read, never what
+// the traversal does.
 func TestPackedMatchesPointer(t *testing.T) {
+	prev := SetQuantMode(QuantNone)
+	defer SetQuantMode(prev)
+	quants := []QuantMode{QuantNone, QuantF32, QuantI8}
 	rng := rand.New(rand.NewSource(501))
 	for _, d := range []int{2, 5, 8} {
 		items, fixtures := buildFixtures(rng, d, 2500)
@@ -57,7 +64,7 @@ func TestPackedMatchesPointer(t *testing.T) {
 		}
 		for _, fx := range fixtures {
 			for _, crit := range []dominance.Criterion{dominance.Hyperbola{}, dominance.MinMax{}} {
-				// Pointer answers first, then freeze and re-ask.
+				// Pointer answers first, then freeze and re-ask per tier.
 				type ans struct{ res [2]Result }
 				pointer := make([]ans, len(queries))
 				for i, sq := range queries {
@@ -66,20 +73,24 @@ func TestPackedMatchesPointer(t *testing.T) {
 					}
 				}
 				fx.freeze()
-				for i, sq := range queries {
-					for _, algo := range []Algorithm{DF, HS} {
-						got := Search(fx.idx, sq, ks[i], crit, algo)
-						want := pointer[i].res[algo]
-						if !reflect.DeepEqual(got.Items, want.Items) {
-							t.Fatalf("%s d=%d crit=%s algo=%v q=%d: packed items differ\n got %v\nwant %v",
-								fx.name, d, crit.Name(), algo, i, sortedIDs(got.Items), sortedIDs(want.Items))
-						}
-						if got.Stats != want.Stats {
-							t.Fatalf("%s d=%d crit=%s algo=%v q=%d: packed stats differ\n got %+v\nwant %+v",
-								fx.name, d, crit.Name(), algo, i, got.Stats, want.Stats)
+				for _, qm := range quants {
+					SetQuantMode(qm)
+					for i, sq := range queries {
+						for _, algo := range []Algorithm{DF, HS} {
+							got := Search(fx.idx, sq, ks[i], crit, algo)
+							want := pointer[i].res[algo]
+							if !reflect.DeepEqual(got.Items, want.Items) {
+								t.Fatalf("%s d=%d crit=%s algo=%v quant=%s q=%d: packed items differ\n got %v\nwant %v",
+									fx.name, d, crit.Name(), algo, qm, i, sortedIDs(got.Items), sortedIDs(want.Items))
+							}
+							if got.Stats != want.Stats {
+								t.Fatalf("%s d=%d crit=%s algo=%v quant=%s q=%d: packed stats differ\n got %+v\nwant %+v",
+									fx.name, d, crit.Name(), algo, qm, i, got.Stats, want.Stats)
+							}
 						}
 					}
 				}
+				SetQuantMode(QuantNone)
 				fx.thaw()
 				fx.freeze()
 			}
@@ -109,6 +120,62 @@ func TestPackedMatchesBruteForce(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestQuantModeFlipDuringSearches hammers concurrent quantized searches
+// while another goroutine flips the process-wide mode across all tiers:
+// every search must still return the pointer answer, whatever tier it
+// happened to stash at dispatch (the mode is read once per search, so no
+// traversal can straddle tiers), and under -race this doubles as the data
+// race lock on the quantized two-phase path.
+func TestQuantModeFlipDuringSearches(t *testing.T) {
+	prev := SetQuantMode(QuantNone)
+	defer SetQuantMode(prev)
+	rng := rand.New(rand.NewSource(504))
+	d := 6
+	_, fixtures := buildFixtures(rng, d, 1500)
+	fx := fixtures[0] // sstree
+	queries := make([]geom.Sphere, 32)
+	want := make([]Result, len(queries))
+	for i := range queries {
+		queries[i] = randQuery(rng, d, 5)
+		want[i] = Search(fx.idx, queries[i], 8, dominance.Hyperbola{}, HS)
+	}
+	fx.freeze()
+
+	stop := make(chan struct{})
+	flipDone := make(chan struct{})
+	go func() {
+		defer close(flipDone)
+		modes := []QuantMode{QuantNone, QuantF32, QuantI8}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				SetQuantMode(modes[i%len(modes)])
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				for i, sq := range queries {
+					got := Search(fx.idx, sq, 8, dominance.Hyperbola{}, HS)
+					if !reflect.DeepEqual(got.Items, want[i].Items) {
+						t.Errorf("q=%d round=%d: items diverged under mode flips", i, round)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-flipDone
 }
 
 // TestAutoThaw locks the mutation half of the freeze/thaw contract: any

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"hyperdom/internal/obs"
+	"hyperdom/internal/packed"
 	"hyperdom/internal/sstree"
 )
 
@@ -43,6 +44,19 @@ type scratch struct {
 	pBuf   []float64
 	pHeap  pHeap
 
+	// Quantized coarse-filter state (ISSUE 6): the tier this search
+	// consults (stashed once at packed dispatch from the process-wide
+	// QuantMode), the survivor-index buffer the select kernels fill, and
+	// the coarse-prune / exact-fallback tallies flushObs drains. Plain
+	// values, nothing to clear on pool put-back.
+	quant packed.Tier
+	qSel  []int32
+
+	qNodePrunes uint64
+	qNodeExact  uint64
+	qItemPrunes uint64
+	qItemExact  uint64
+
 	// dfExpansions tallies children expanded by the depth-first
 	// traversals this search (plain add; drained by flushObs).
 	dfExpansions uint64
@@ -77,8 +91,7 @@ func (sc *scratch) resetTraversal() {
 	sc.ssHeap.dists = sc.ssHeap.dists[:0]
 	sc.pStack = sc.pStack[:0]
 	sc.pDists = sc.pDists[:0]
-	sc.pHeap.ids = sc.pHeap.ids[:0]
-	sc.pHeap.dists = sc.pHeap.dists[:0]
+	sc.pHeap.es = sc.pHeap.es[:0]
 }
 
 var scratchPool = sync.Pool{New: func() any { return &scratch{shard: obs.NextShard()} }}
@@ -106,8 +119,7 @@ func putScratch(sc *scratch) {
 	sc.ssHeap.dists = sc.ssHeap.dists[:0]
 	sc.pStack = sc.pStack[:0]
 	sc.pDists = sc.pDists[:0]
-	sc.pHeap.ids = sc.pHeap.ids[:0]
-	sc.pHeap.dists = sc.pHeap.dists[:0]
+	sc.pHeap.es = sc.pHeap.es[:0]
 	sc.list.entries = clearCap(sc.list.entries)
 	sc.list.deferred = clearCap(sc.list.deferred)
 	sc.list.stats = nil
@@ -124,6 +136,14 @@ func (sc *scratch) cancelTrace() {
 		sc.trace.Cancel()
 		sc.tb = nil
 	}
+}
+
+// growToI32 is growTo for the survivor-index buffer.
+func growToI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n, 2*n)
+	}
+	return s[:n]
 }
 
 // clearCap zeroes s over its full capacity and returns it with length 0.

@@ -7,6 +7,7 @@ import (
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/geom"
 	"hyperdom/internal/obs"
+	"hyperdom/internal/packed"
 	"hyperdom/internal/sstree"
 )
 
@@ -122,6 +123,16 @@ func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Crite
 		if pt.Empty() {
 			sc.cancelTrace()
 			return res
+		}
+		// Stash the process-wide quantization mode for this search: the
+		// two-phase loops consult sc.quant so a concurrent SetQuantMode
+		// cannot split one traversal across tiers. A degenerate query
+		// radius (negative or NaN) takes the exact path outright — the
+		// coarse kernels' threshold arithmetic assumes all-non-negative
+		// terms (see vec/quant.go), and such a query is never hot.
+		sc.quant = QuantModeNow().tier()
+		if !(sq.Radius >= 0) {
+			sc.quant = packed.TierNone
 		}
 		switch algo {
 		case DF:

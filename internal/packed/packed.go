@@ -89,6 +89,10 @@ type Tree struct {
 	rootCenter     []float64 // KindSphere root bound
 	rootRadius     float64
 	rootLo, rootHi []float64 // KindRect root bound
+
+	// quant holds the narrow (float32 / int8) copies of every child and
+	// item bound used by the coarse-filter pass (ISSUE 6); see quant.go.
+	quant quantTiers
 }
 
 // Kind returns the bounding geometry of the tree's internal entries.
@@ -275,6 +279,7 @@ func (b *Builder) finish(root int32) *Tree {
 		panic(fmt.Sprintf("packed: Finish with root %d of %d nodes", root, len(t.leaf)))
 	}
 	t.root = root
+	t.buildQuant()
 	if obs.On() {
 		obsFreezes.Inc()
 		obsNodes.Add(uint64(len(t.leaf)))
