@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short bench bench-all bench-parallel bench-quant fuzz experiments examples serve trace cover clean
+.PHONY: all build check test test-short bench bench-all bench-parallel bench-quant fuzz experiments examples serve serve-sharded trace cover clean
 
 all: build check
 
@@ -67,6 +67,11 @@ experiments:
 # served on :6060 after the figures finish, until Ctrl-C.
 serve:
 	$(GO) run ./cmd/knnbench -serve :6060 -metrics
+
+# Start the sharded scatter-gather kNN server on a synthetic corpus —
+# the HTTP layer of DESIGN.md §13. See README "Running the server".
+serve-sharded:
+	$(GO) run ./cmd/hyperdomd -shards 4 -addr :8080
 
 # Record per-query execution traces from a Fig 13 run into trace.json —
 # load it in chrome://tracing or https://ui.perfetto.dev. See README

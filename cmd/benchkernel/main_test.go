@@ -37,6 +37,12 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.MinScaling != 2.5 {
 		t.Errorf("MinScaling = %v, want 2.5", cfg.MinScaling)
 	}
+	if cfg.ScalingOnly {
+		t.Error("ScalingOnly defaults on")
+	}
+	if cfg.RequireCores != 0 {
+		t.Errorf("RequireCores = %d, want 0", cfg.RequireCores)
+	}
 	if cfg.Quant != knn.QuantF32 {
 		t.Errorf("Quant = %v, want f32", cfg.Quant)
 	}
@@ -48,6 +54,7 @@ func TestParseFlagsDefaults(t *testing.T) {
 func TestParseFlagsAll(t *testing.T) {
 	cfg, err := parseFlags([]string{
 		"-o", "out.json", "-gate", "committed.json", "-min-speedup", "2.5",
+		"-scaling-only", "-require-cores", "2",
 		"-cpuprofile", "cpu.out", "-memprofile", "mem.out", "-pprof", "localhost:0", "-metrics",
 	})
 	if err != nil {
@@ -55,6 +62,9 @@ func TestParseFlagsAll(t *testing.T) {
 	}
 	if cfg.Out != "out.json" || cfg.Gate != "committed.json" || cfg.MinSpeedup != 2.5 {
 		t.Errorf("parsed config = %+v", cfg)
+	}
+	if !cfg.ScalingOnly || cfg.RequireCores != 2 {
+		t.Errorf("scaling flags = %+v", cfg)
 	}
 	if !cfg.Profile.Wanted() || cfg.Profile.CPUProfile != "cpu.out" || !cfg.Profile.Metrics {
 		t.Errorf("profile flags = %+v", cfg.Profile)
@@ -100,6 +110,16 @@ func TestReportRoundTrip(t *testing.T) {
 			PruneRate:          0.93,
 			HeapPushesPerQuery: 70,
 			PreparedReuseRate:  0.99,
+		},
+		Throughput: throughputBlock{
+			GoMaxProcs: 2, CoresDetected: 4, Gated: true, BatchQueries: 128, K: 10,
+			Points:       []scalingPoint{{Workers: 1, OpsPerSec: 1000, Scaling: 1}, {Workers: 8, OpsPerSec: 1800, Scaling: 1.8}},
+			ScalingAtMax: 1.8,
+		},
+		ShardScaling: shardScalingBlock{
+			GoMaxProcs: 2, CoresDetected: 4, Gated: true, BatchQueries: 64, K: 10,
+			Points:       []shardScalingPoint{{Shards: 1, OpsPerSec: 700, Scaling: 1}, {Shards: 4, OpsPerSec: 1100, Scaling: 1.57}},
+			ScalingAtMax: 1.57,
 		},
 	}
 	path := filepath.Join(t.TempDir(), "bench.json")
@@ -161,6 +181,49 @@ func TestGateReport(t *testing.T) {
 	if failures := gateReport(slow, committed, cfg); len(failures) != 1 {
 		t.Errorf("sub-0.8x scaling produced %d failures, want 1: %v", len(failures), failures)
 	}
+	// -min-scaling 0 opts out of the scaling gates entirely — the
+	// single-core bench-sanity job's mode.
+	off := *cfg
+	off.MinScaling = 0
+	if failures := gateReport(slow, committed, &off); len(failures) != 0 {
+		t.Errorf("-min-scaling 0 still gated scaling: %v", failures)
+	}
+	// -scaling-only restricts the gate to the scaling blocks: the kernel
+	// ratios and alloc rows of the regressed report stop counting and only
+	// its 8-core scaling failure remains.
+	sOnly := *cfg
+	sOnly.ScalingOnly = true
+	if failures := gateReport(bad, committed, &sOnly); len(failures) != 1 {
+		t.Errorf("-scaling-only produced %d failures, want 1: %v", len(failures), failures)
+	}
+	// -require-cores fails a measurement from an undersized runner even if
+	// every ratio passes.
+	cores := *cfg
+	cores.RequireCores = 2
+	if failures := gateReport(ok, committed, &cores); len(failures) != 1 {
+		t.Errorf("-require-cores 2 on a 1-core report produced %d failures, want 1: %v", len(failures), failures)
+	}
+	// A pathological scatter-gather table (max-shard throughput under half
+	// of single-shard) fails even when worker scaling is fine — but only
+	// for gated (multi-core) measurements.
+	shardBad := ok
+	shardBad.Throughput = throughputBlock{GoMaxProcs: 8, ScalingAtMax: 4.0}
+	shardBad.ShardScaling = shardScalingBlock{
+		GoMaxProcs: 8, Gated: true,
+		Points:       []shardScalingPoint{{Shards: 1, OpsPerSec: 1000, Scaling: 1}, {Shards: 4, OpsPerSec: 400, Scaling: 0.4}},
+		ScalingAtMax: 0.4,
+	}
+	if failures := gateReport(shardBad, committed, cfg); len(failures) != 1 {
+		t.Errorf("pathological shard scaling produced %d failures, want 1: %v", len(failures), failures)
+	}
+	// The same table from a 1-core runner is an expected artifact: the
+	// scatter goroutines had nowhere to run in parallel, gated:false says
+	// so, and the gate lets it pass.
+	shardBad.Throughput = throughputBlock{GoMaxProcs: 1, ScalingAtMax: 1.0}
+	shardBad.ShardScaling.GoMaxProcs, shardBad.ShardScaling.Gated = 1, false
+	if failures := gateReport(shardBad, committed, cfg); len(failures) != 0 {
+		t.Errorf("ungated 1-core shard table failed the gate: %v", failures)
+	}
 }
 
 // TestCaptureMetrics runs the real metrics pass on a scaled-down fixture
@@ -169,7 +232,7 @@ func TestCaptureMetrics(t *testing.T) {
 	defer obs.SetEnabled(true)
 	obs.SetEnabled(false) // captureMetrics enables the gate itself
 
-	_, idx, queries := knnFixture(1500, 6)
+	_, idx, _, queries := knnFixture(1500, 6)
 	sa, sb, points, _ := pairWorkload(rand.New(rand.NewSource(42)), 6, 64)
 	m := captureMetrics(idx, queries, 5, sa, sb, points)
 

@@ -19,6 +19,9 @@
 //	-parallel comma-separated worker-pool widths; runs the batch-engine
 //	          scaling experiment over a frozen SS-tree instead of the
 //	          figures and prints a queries/s table per width
+//	-shards   comma-separated shard counts; runs the scatter-gather
+//	          shard-scaling experiment (DESIGN.md §13) instead of the
+//	          figures and prints a queries/s table per count
 //
 // The shared observability flags apply as well; in particular
 // `-trace out.json` samples every `-trace-every`-th search (default 16,
@@ -49,6 +52,8 @@ func main() {
 		"shadow-evaluate every dominance check against Hyperbola and count per-criterion disagreements")
 	parallel := flag.String("parallel", "",
 		"comma-separated engine pool widths (e.g. 1,2,4,8); runs the batch-engine scaling experiment instead of the figures")
+	shards := flag.String("shards", "",
+		"comma-separated shard counts (e.g. 1,2,4); runs the scatter-gather shard-scaling experiment instead of the figures")
 	quant := flag.String("quant", "f32",
 		"quantized coarse-filter tier for frozen-snapshot searches (none, f32, i8)")
 	pf := obs.RegisterFlags(flag.CommandLine)
@@ -85,6 +90,17 @@ func main() {
 		}
 		before := figureMetricsStart(pf)
 		fmt.Println(experiments.RunParallel(cfg, widths).Table().Render())
+		figureMetricsEnd(pf, 0, before)
+		return
+	}
+	if *shards != "" {
+		counts, err := parseWidths(*shards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "knnbench: -shards: %v\n", err)
+			os.Exit(2)
+		}
+		before := figureMetricsStart(pf)
+		fmt.Println(experiments.RunSharded(cfg, counts).Table().Render())
 		figureMetricsEnd(pf, 0, before)
 		return
 	}

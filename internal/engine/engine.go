@@ -39,6 +39,12 @@ type task struct {
 	out   *knn.Result
 	wg    *sync.WaitGroup
 	enqNs int64 // submit time (UnixNano), 0 when the obs gate was off
+
+	// Candidate-mode fields (scatter-gather, DESIGN.md §13). When cands is
+	// non-nil the worker runs SearchCandidates into it instead of Search
+	// into out, under the external pushdown bound ext (may be nil).
+	cands *knn.CandidateSet
+	ext   *knn.Bound
 }
 
 // Engine is the worker pool. Construct with New; Close releases it.
@@ -117,7 +123,11 @@ func (e *Engine) worker() {
 		if t.enqNs != 0 {
 			histQueueWait.RecordShard(shard, time.Now().UnixNano()-t.enqNs)
 		}
-		*t.out = s.Search(e.idx, t.sq, t.k, e.crit, e.algo)
+		if t.cands != nil {
+			*t.cands = s.SearchCandidates(e.idx, t.sq, t.k, e.crit, e.algo, t.ext)
+		} else {
+			*t.out = s.Search(e.idx, t.sq, t.k, e.crit, e.algo)
+		}
 		if obs.On() {
 			obsCompleted.Inc()
 		}
@@ -178,6 +188,37 @@ func (e *Engine) Search(sq geom.Sphere, k int) knn.Result {
 	wg.Wait()
 	return res
 }
+
+// SearchCandidates answers a single candidate-stream query through the pool
+// (knn.SearchCandidates semantics), blocking until a worker finishes it.
+// ext is the optional scatter-gather distK pushdown bound; nil disables
+// pushdown. The scatter layer of internal/shard calls this once per shard
+// per query, so each shard's traversal runs on that shard's warm arenas.
+func (e *Engine) SearchCandidates(sq geom.Sphere, k int, ext *knn.Bound) knn.CandidateSet {
+	if k <= 0 {
+		panic(fmt.Sprintf("engine: k = %d", k))
+	}
+	on := obs.On()
+	if on {
+		obsSubmitted.Inc()
+	}
+	var cs knn.CandidateSet
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var enq int64
+	if on {
+		enq = time.Now().UnixNano()
+	}
+	e.queue <- task{sq: sq, k: k, cands: &cs, ext: ext, wg: &wg, enqNs: enq}
+	wg.Wait()
+	return cs
+}
+
+// Criterion returns the dominance criterion the engine answers with.
+func (e *Engine) Criterion() dominance.Criterion { return e.crit }
+
+// Algorithm returns the traversal strategy the engine answers with.
+func (e *Engine) Algorithm() knn.Algorithm { return e.algo }
 
 // Close stops the workers after the already-queued work drains and waits
 // for them to exit. Safe to call more than once; submitting after Close

@@ -1,0 +1,71 @@
+package knn
+
+import (
+	"math"
+	"sync/atomic"
+
+	"hyperdom/internal/obs"
+)
+
+// obsBoundTightened counts successful external-bound tightenings — the
+// distK pushdown traffic of the scatter-gather layer (DESIGN.md §13).
+var obsBoundTightened = obs.New("knn.bound_tightenings")
+
+// Bound is a shared, monotonically tightening upper bound on the final
+// global distK of a scatter-gather kNN query (DESIGN.md §13). The merge
+// layer creates one per query; every per-shard search both publishes its
+// own running local distK into it and reads it at node-prune decisions
+// (pruneBound), so a shard that has already found k close candidates
+// tightens the prune bound of every laggard shard.
+//
+// Correctness: a value stored here must never drop below the final global
+// distK. Both producers satisfy that by construction — a shard's running
+// local distK is the k-th smallest MaxDist within a subset of the data, so
+// it is ≥ the global k-th smallest at all times; the merge layer's running
+// global distK is computed over candidates merged so far and only shrinks
+// toward (never past) the final value. Pruning a node or item whose
+// MinDist exceeds the bound therefore discards only objects the final
+// global Sk provably dominates (Lemma 9 / DCMinMax), which keeps the
+// merged result set bit-identical to a single-index search.
+//
+// All methods are safe for concurrent use and never allocate. The zero
+// value is NOT ready; construct with NewBound (which seeds +Inf).
+type Bound struct {
+	bits atomic.Uint64
+}
+
+// NewBound returns a bound seeded with +Inf (prunes nothing).
+func NewBound() *Bound {
+	b := &Bound{}
+	b.Reset()
+	return b
+}
+
+// Reset re-seeds the bound with +Inf for reuse across queries. Must not
+// race with an in-flight query using the bound.
+func (b *Bound) Reset() { b.bits.Store(math.Float64bits(math.Inf(1))) }
+
+// Load returns the current bound.
+func (b *Bound) Load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// Tighten lowers the bound to v if v is smaller, and reports whether it
+// did. NaN and non-improving values are ignored. Lock-free CAS-min; the
+// bound is monotonically non-increasing over its lifetime, which is what
+// lets traversals treat a single stale read as conservative.
+func (b *Bound) Tighten(v float64) bool {
+	if math.IsNaN(v) {
+		return false
+	}
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return false
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			if obs.On() {
+				obsBoundTightened.Inc()
+			}
+			return true
+		}
+	}
+}

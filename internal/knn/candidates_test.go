@@ -1,0 +1,141 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+)
+
+func TestBoundTighten(t *testing.T) {
+	b := NewBound()
+	if got := b.Load(); !math.IsInf(got, 1) {
+		t.Fatalf("fresh bound = %v, want +Inf", got)
+	}
+	if !b.Tighten(5) {
+		t.Fatal("Tighten(5) from +Inf reported no change")
+	}
+	if b.Tighten(7) {
+		t.Fatal("Tighten(7) loosened a bound of 5")
+	}
+	if b.Tighten(math.NaN()) {
+		t.Fatal("Tighten(NaN) reported a change")
+	}
+	if !b.Tighten(2) {
+		t.Fatal("Tighten(2) from 5 reported no change")
+	}
+	if got := b.Load(); got != 2 {
+		t.Fatalf("bound = %v, want 2", got)
+	}
+	b.Reset()
+	if got := b.Load(); !math.IsInf(got, 1) {
+		t.Fatalf("reset bound = %v, want +Inf", got)
+	}
+}
+
+// finalFilter applies Definition 2's final filter to a candidate stream the
+// way the merge layer does: Sk = k-th smallest (MaxDist, ID), keep every
+// candidate Sk does not provably dominate.
+func finalFilter(cs CandidateSet, sq geom.Sphere, crit dominance.Criterion) []Item {
+	cands := cs.Candidates
+	if len(cands) <= cs.K {
+		out := make([]Item, len(cands))
+		for i, c := range cands {
+			out[i] = c.Item
+		}
+		return out
+	}
+	sk := cands[cs.K-1].Item
+	var out []Item
+	for _, c := range cands {
+		if crit.Dominates(sk.Sphere, c.Item.Sphere, sq) {
+			continue
+		}
+		out = append(out, c.Item)
+	}
+	return out
+}
+
+// TestSearchCandidatesRecoversAnswer locks the contract the scatter-gather
+// merge layer depends on: applying the final Definition 2 filter to the raw
+// candidate stream reproduces the Search answer exactly, for both
+// traversals, with and without an external bound in play.
+func TestSearchCandidatesRecoversAnswer(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	crit := dominance.Hyperbola{}
+	for trial := 0; trial < 40; trial++ {
+		d := 2 + rng.Intn(3)
+		n := 1 + rng.Intn(400)
+		items := randItems(rng, d, n, 4)
+		idx := index(items, d)
+		sq := randQuery(rng, d, 4)
+		k := 1 + rng.Intn(12)
+		for _, algo := range []Algorithm{DF, HS} {
+			want := Search(idx, sq, k, crit, algo)
+			cs := SearchCandidates(idx, sq, k, crit, algo, nil)
+			got := finalFilter(cs, sq, crit)
+			if !equalIDs(idsOf(want.Items), idsOf(got)) {
+				t.Fatalf("trial %d %v: filtered candidates %v != answer %v",
+					trial, algo, idsOf(got), idsOf(want.Items))
+			}
+			// Candidates must arrive in ascending (MaxDist, ID) order.
+			for i := 1; i < len(cs.Candidates); i++ {
+				a, b := cs.Candidates[i-1], cs.Candidates[i]
+				if a.MaxDist > b.MaxDist || (a.MaxDist == b.MaxDist && a.Item.ID > b.Item.ID) {
+					t.Fatalf("trial %d %v: candidate order violated at %d", trial, algo, i)
+				}
+			}
+			// A finite external bound seeded at the true final distK must
+			// not change the recovered answer (it can only prune items the
+			// final Sk provably dominates).
+			if len(cs.Candidates) >= k {
+				ext := NewBound()
+				ext.Tighten(cs.Candidates[k-1].MaxDist)
+				cs2 := SearchCandidates(idx, sq, k, crit, algo, ext)
+				got2 := finalFilter(cs2, sq, crit)
+				if !equalIDs(idsOf(want.Items), idsOf(got2)) {
+					t.Fatalf("trial %d %v: ext-bounded candidates broke the answer", trial, algo)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchCandidatesStats pins that a nil-bound candidate search performs
+// exactly the traversal work of a plain Search (same Stats), since the two
+// share one traversal and differ only in the answer pass.
+func TestSearchCandidatesStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	items := randItems(rng, 3, 500, 3)
+	idx := index(items, 3)
+	sq := randQuery(rng, 3, 3)
+	for _, algo := range []Algorithm{DF, HS} {
+		res := Search(idx, sq, 8, dominance.Hyperbola{}, algo)
+		cs := SearchCandidates(idx, sq, 8, dominance.Hyperbola{}, algo, nil)
+		// finish() runs extra final-filter DomChecks that collect() skips,
+		// so compare the traversal-side fields only.
+		if cs.Stats.NodesVisited != res.Stats.NodesVisited || cs.Stats.Items != res.Stats.Items {
+			t.Fatalf("%v: candidate stats %+v diverge from search stats %+v", algo, cs.Stats, res.Stats)
+		}
+	}
+}
+
+func TestSearchCandidatesEmptyIndex(t *testing.T) {
+	idx := index(nil, 2)
+	cs := SearchCandidates(idx, randQuery(rand.New(rand.NewSource(1)), 2, 1), 3, dominance.Hyperbola{}, HS, nil)
+	if len(cs.Candidates) != 0 || cs.K != 3 {
+		t.Fatalf("empty index returned %+v", cs)
+	}
+}
+
+func idsOf(items []Item) []int {
+	ids := make([]int, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	sort.Ints(ids)
+	return ids
+}

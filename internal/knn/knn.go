@@ -178,6 +178,15 @@ type bestList struct {
 	// search by scratch.flushObs.
 	deferMerges uint64
 	deferItems  uint64
+
+	// ext is the scatter-gather distK pushdown bound (DESIGN.md §13), nil
+	// for single-index searches. When set, node-prune decisions read
+	// pruneBound() — min(local distK, ext) — and offerDist publishes the
+	// running local distK back into ext whenever it shrinks. lastPub
+	// remembers the last value published so unchanged distKs skip the
+	// atomic.
+	ext     *Bound
+	lastPub float64
 }
 
 type entry struct {
@@ -199,6 +208,8 @@ func (l *bestList) reset(sq geom.Sphere, k int, crit dominance.Criterion, stats 
 	l.tb = nil
 	l.critLabel = 0
 	l.shadow = dominance.ShadowOn()
+	l.ext = nil
+	l.lastPub = math.Inf(1)
 }
 
 // dominates runs one criterion check of the search. With the Hyperbola
@@ -269,6 +280,38 @@ func (l *bestList) distK() float64 {
 // sk returns the entry whose MaxDist is the k-th smallest.
 func (l *bestList) sk() Item { return l.entries[l.k-1].item }
 
+// pruneBound returns the tightest node-prune bound available: the local
+// distK, sharpened by the external scatter-gather bound when one is wired
+// in. Only NODE prune decisions consult it — item-level Case 2/3 logic
+// stays on the local distK, because those cases feed the candidate stream
+// the merge layer filters (and the local Sk semantics they encode must not
+// shift under a racing external value). Pruning a node by ext is safe for
+// the same Lemma 9 argument as Case 3: ext ≥ the final global distK at all
+// times, so MinDist > ext proves dominance by the final global Sk.
+func (l *bestList) pruneBound() float64 {
+	dk := l.distK()
+	if l.ext != nil {
+		if e := l.ext.Load(); e < dk {
+			dk = e
+		}
+	}
+	return dk
+}
+
+// publish pushes the running local distK into the external bound when it
+// shrank since the last publication. Called after every list mutation that
+// can lower distK; the lastPub guard makes the common no-change case one
+// float compare.
+func (l *bestList) publish() {
+	if l.ext == nil || len(l.entries) < l.k {
+		return
+	}
+	if dk := l.entries[l.k-1].maxDist; dk < l.lastPub {
+		l.lastPub = dk
+		l.ext.Tighten(dk)
+	}
+}
+
 // add inserts e keeping the order by MaxDist (ties by ID for determinism).
 func (l *bestList) add(e entry) {
 	i := sort.Search(len(l.entries), func(i int) bool {
@@ -305,6 +348,7 @@ func (l *bestList) offerDist(it Item, dist float64) {
 	}
 	if len(l.entries) < l.k {
 		l.add(e)
+		l.publish()
 		return
 	}
 	dk := l.distK()
@@ -313,6 +357,7 @@ func (l *bestList) offerDist(it Item, dist float64) {
 		// Case 1: insert, then evict members the new Sk dominates.
 		l.add(e)
 		l.evictDominated()
+		l.publish()
 	case e.minDist <= dk:
 		// Case 2: the k-th candidate may or may not dominate it (Lemma 10).
 		if l.check(obs.PhaseCase2, l.sk().Sphere, it.Sphere, it.ID) {

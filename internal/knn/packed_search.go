@@ -177,7 +177,7 @@ func (sc *scratch) searchDFPacked(t *packed.Tree, n int32, nd float64, sq geom.S
 	}
 	sortByDist(sc.pStack[base:base+nc], sc.pDists[base:base+nc])
 	for i := 0; i < nc; i++ {
-		if sc.pDists[base+i] > l.distK() {
+		if sc.pDists[base+i] > l.pruneBound() {
 			if tb := sc.tb; tb != nil {
 				for j := i; j < nc; j++ {
 					tb.NodePrune(packedNodeID(sc.pStack[base+j]), sc.pDists[base+j])
@@ -268,7 +268,7 @@ func (sc *scratch) searchHSPacked(t *packed.Tree, sq geom.Sphere, l *bestList) {
 	h.push(t.Root(), t.RootMinDist(sq))
 	for h.len() > 0 {
 		n, dist := h.pop()
-		if dist > l.distK() {
+		if dist > l.pruneBound() {
 			if tb := sc.tb; tb != nil {
 				tb.NodePrune(packedNodeID(n), dist)
 			}
@@ -288,7 +288,8 @@ func (sc *scratch) searchHSPacked(t *packed.Tree, sq geom.Sphere, l *bestList) {
 		}
 		// Invariant: distk cannot change inside this loop — it only shrinks
 		// when an item is offered, and this loop only pushes child nodes.
-		dk := l.distK()
+		// A hoisted external-bound read is safe: the bound only tightens.
+		dk := l.pruneBound()
 		kids := t.Children(n)
 		if quantNodePhase && sc.quantOn(dk) {
 			// Two-phase (ISSUE 6): a narrow bound beyond distk certifies

@@ -124,6 +124,7 @@ func putScratch(sc *scratch) {
 	sc.list.deferred = clearCap(sc.list.deferred)
 	sc.list.stats = nil
 	sc.list.tb = nil
+	sc.list.ext = nil
 	// A trace begun by a search that never reached its flush (obs gate
 	// turned off mid-search) must not leak into the next search.
 	sc.cancelTrace()

@@ -92,13 +92,33 @@ func (s *Searcher) Close() {
 }
 
 func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Criterion, algo Algorithm) Result {
+	res := Result{K: k}
+	l, start, ok := sc.traverse(idx, sq, k, crit, algo, nil, &res.Stats)
+	if !ok {
+		return res
+	}
+	res.Items = l.finish()
+	if obs.On() {
+		sc.flushObs(idx, algo, k, start, &res.Stats)
+	}
+	return res
+}
+
+// traverse runs the index traversal shared by Search (finish() filter) and
+// SearchCandidates (raw candidate stream): dispatch to the packed,
+// concrete-SS-tree or generic path, with the best-known list filled in and
+// the per-search instrumentation armed. ext is the optional scatter-gather
+// pushdown bound (nil for single-index searches — the nil check is the
+// only cost the hot path pays for it). ok=false means the index was empty:
+// the list holds nothing and any sampled trace was cancelled; callers skip
+// both the answer pass and the obs flush, exactly as before the split.
+func (sc *scratch) traverse(idx Index, sq geom.Sphere, k int, crit dominance.Criterion, algo Algorithm, ext *Bound, stats *Stats) (l *bestList, start time.Time, ok bool) {
 	if k <= 0 {
 		panic(fmt.Sprintf("knn: k = %d", k))
 	}
 	// One clock read per search when instrumentation is on: the delta feeds
 	// the per-(substrate, strategy) latency histogram and the flight
 	// recorder at the same flush point as the work counters.
-	var start time.Time
 	if obs.On() {
 		start = time.Now()
 		if obs.SampleTrace() {
@@ -108,10 +128,10 @@ func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Crite
 			sc.tb = &sc.trace
 		}
 	}
-	res := Result{K: k}
 	sc.resetTraversal()
-	l := &sc.list
-	l.reset(sq, k, crit, &res.Stats)
+	l = &sc.list
+	l.reset(sq, k, crit, stats)
+	l.ext = ext
 	if sc.tb != nil {
 		l.tb = sc.tb
 		l.critLabel = obs.FlightLabel(crit.Name())
@@ -122,7 +142,7 @@ func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Crite
 	if pt := frozenOf(idx); pt != nil {
 		if pt.Empty() {
 			sc.cancelTrace()
-			return res
+			return nil, start, false
 		}
 		// Stash the process-wide quantization mode for this search: the
 		// two-phase loops consult sc.quant so a concurrent SetQuantMode
@@ -142,18 +162,16 @@ func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Crite
 		default:
 			panic(fmt.Sprintf("knn: unknown algorithm %d", int(algo)))
 		}
-		res.Items = l.finish()
 		if obs.On() {
 			obsSearchPacked.Inc()
-			sc.flushObs(idx, algo, k, start, &res.Stats)
 		}
-		return res
+		return l, start, true
 	}
-	if a, ok := idx.(ssAdapter); ok {
-		root, ok := a.t.Root()
-		if !ok {
+	if a, isSS := idx.(ssAdapter); isSS {
+		root, rok := a.t.Root()
+		if !rok {
 			sc.cancelTrace()
-			return res
+			return nil, start, false
 		}
 		switch algo {
 		case DF:
@@ -163,16 +181,12 @@ func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Crite
 		default:
 			panic(fmt.Sprintf("knn: unknown algorithm %d", int(algo)))
 		}
-		res.Items = l.finish()
-		if obs.On() {
-			sc.flushObs(idx, algo, k, start, &res.Stats)
-		}
-		return res
+		return l, start, true
 	}
-	root, ok := idx.RootNode()
-	if !ok {
+	root, rok := idx.RootNode()
+	if !rok {
 		sc.cancelTrace()
-		return res
+		return nil, start, false
 	}
 	switch algo {
 	case DF:
@@ -182,11 +196,7 @@ func (sc *scratch) search(idx Index, sq geom.Sphere, k int, crit dominance.Crite
 	default:
 		panic(fmt.Sprintf("knn: unknown algorithm %d", int(algo)))
 	}
-	res.Items = l.finish()
-	if obs.On() {
-		sc.flushObs(idx, algo, k, start, &res.Stats)
-	}
-	return res
+	return l, start, true
 }
 
 // searchDF visits children in ascending MinDist order, pruning subtrees
@@ -219,7 +229,7 @@ func (sc *scratch) searchDF(n IndexNode, sq geom.Sphere, l *bestList) {
 	}
 	sortByDist(sc.stack[base:base+nc], sc.dists[base:base+nc])
 	for i := 0; i < nc; i++ {
-		if sc.dists[base+i] > l.distK() {
+		if sc.dists[base+i] > l.pruneBound() {
 			// Every deeper item has MinDist ≥ this bound: Case 3 territory.
 			if tb := sc.tb; tb != nil {
 				for j := i; j < nc; j++ {
@@ -336,7 +346,7 @@ func (sc *scratch) searchHS(root IndexNode, sq geom.Sphere, l *bestList) {
 	h.push(root, root.MinDistTo(sq))
 	for h.len() > 0 {
 		n, dist := h.pop()
-		if dist > l.distK() {
+		if dist > l.pruneBound() {
 			if tb := sc.tb; tb != nil {
 				tb.NodePrune(nodeID(n), dist)
 			}
@@ -362,8 +372,10 @@ func (sc *scratch) searchHS(root IndexNode, sq geom.Sphere, l *bestList) {
 		// Invariant: distk cannot change inside this loop — it only shrinks
 		// when an item is offered to the list, and expanding an internal
 		// node only pushes child nodes. Hoisting the bound out of the loop
-		// saves a distK() call per child.
-		dk := l.distK()
+		// saves a distK() call per child. The external bound may tighten
+		// concurrently, but it is monotone non-increasing, so a hoisted
+		// read is merely conservative.
+		dk := l.pruneBound()
 		for _, c := range sc.stack[base:] {
 			if d := c.MinDistTo(sq); d <= dk {
 				h.push(c, d)
@@ -436,7 +448,7 @@ func (sc *scratch) searchDFSS(n sstree.Node, sq geom.Sphere, l *bestList) {
 	}
 	sortByDist(sc.ssStack[base:base+nc], sc.ssDists[base:base+nc])
 	for i := 0; i < nc; i++ {
-		if sc.ssDists[base+i] > l.distK() {
+		if sc.ssDists[base+i] > l.pruneBound() {
 			if tb := sc.tb; tb != nil {
 				for j := i; j < nc; j++ {
 					tb.NodePrune(sc.ssStack[base+j].DebugID(), sc.ssDists[base+j])
@@ -522,7 +534,7 @@ func (sc *scratch) searchHSSS(root sstree.Node, sq geom.Sphere, l *bestList) {
 	h.push(root, geom.MinDist(root.Sphere(), sq))
 	for h.len() > 0 {
 		n, dist := h.pop()
-		if dist > l.distK() {
+		if dist > l.pruneBound() {
 			if tb := sc.tb; tb != nil {
 				tb.NodePrune(n.DebugID(), dist)
 			}
@@ -545,7 +557,8 @@ func (sc *scratch) searchHSSS(root sstree.Node, sq geom.Sphere, l *bestList) {
 		}
 		// Invariant: distk cannot change inside this loop — it only shrinks
 		// when an item is offered, and this loop only pushes child nodes.
-		dk := l.distK()
+		// A hoisted external-bound read is safe: the bound only tightens.
+		dk := l.pruneBound()
 		m := n.NumChildren()
 		for i := 0; i < m; i++ {
 			c := n.Child(i)

@@ -1,0 +1,285 @@
+// Package server is the HTTP+JSON front of the sharded scatter-gather
+// layer (DESIGN.md §13): multi-collection routing over shard.Index values,
+// the paper's kNN and dominance queries as POST endpoints, and the obs
+// stack (Prometheus /metrics, /debug handlers) mounted beside them.
+//
+// Endpoints:
+//
+//	POST /v1/collections/{name}/knn        {"center":[...],"radius":r,"k":k}
+//	POST /v1/collections/{name}/dominates  {"a":sphere,"b":sphere,"criterion":"Hyperbola"?}
+//	GET  /v1/collections                   collection inventory
+//	GET  /healthz                          liveness
+//	GET  /metrics, /debug/...              obs exposition
+//
+// Every request is measured into the per-(collection, endpoint) labeled
+// hyperdom_server_request_latency_seconds family and counted in
+// hyperdom_server_requests; kNN answers additionally drive the
+// hyperdom_shard_* families of the collection they hit.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"hyperdom/internal/dominance"
+	"hyperdom/internal/geom"
+	"hyperdom/internal/knn"
+	"hyperdom/internal/obs"
+	"hyperdom/internal/shard"
+)
+
+var (
+	obsRequests    = obs.New("server.requests")
+	obsBadRequests = obs.New("server.bad_requests")
+)
+
+// maxBodyBytes bounds request bodies: generous for high-dimensional
+// centers, far below anything that could balloon the process.
+const maxBodyBytes = 1 << 20
+
+// Server routes requests to named collections. Construct with New, attach
+// collections with AddCollection, serve Handler(). Safe for concurrent
+// use; Close stops every collection's shard pools.
+type Server struct {
+	mu          sync.RWMutex
+	collections map[string]*shard.Index
+}
+
+// New returns a server with no collections.
+func New() *Server {
+	return &Server{collections: make(map[string]*shard.Index)}
+}
+
+// AddCollection mounts x under /v1/collections/{name}. The server takes
+// ownership: Close closes it. Duplicate names error.
+func (s *Server) AddCollection(name string, x *shard.Index) error {
+	if name == "" {
+		return fmt.Errorf("server: empty collection name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.collections[name]; dup {
+		return fmt.Errorf("server: duplicate collection %q", name)
+	}
+	s.collections[name] = x
+	return nil
+}
+
+// Collections returns the mounted collection names, sorted.
+func (s *Server) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.collections))
+	for name := range s.collections {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close stops every collection's shard pools.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, x := range s.collections {
+		x.Close()
+	}
+	s.collections = make(map[string]*shard.Index)
+}
+
+// Handler returns the full route table, obs exposition included.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/collections/{name}/knn", s.handleKNN)
+	mux.HandleFunc("POST /v1/collections/{name}/dominates", s.handleDominates)
+	mux.HandleFunc("GET /v1/collections", s.handleList)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/metrics", obs.Handler())
+	mux.Handle("/debug/", obs.Handler())
+	return mux
+}
+
+func (s *Server) lookup(name string) (*shard.Index, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	x, ok := s.collections[name]
+	return x, ok
+}
+
+type sphereJSON struct {
+	Center []float64 `json:"center"`
+	Radius float64   `json:"radius"`
+}
+
+func (sj sphereJSON) sphere() (geom.Sphere, error) {
+	if len(sj.Center) == 0 {
+		return geom.Sphere{}, fmt.Errorf("empty center")
+	}
+	if sj.Radius < 0 || sj.Radius != sj.Radius {
+		return geom.Sphere{}, fmt.Errorf("invalid radius %v", sj.Radius)
+	}
+	return geom.Sphere{Center: sj.Center, Radius: sj.Radius}, nil
+}
+
+type knnRequest struct {
+	Center []float64 `json:"center"`
+	Radius float64   `json:"radius"`
+	K      int       `json:"k"`
+}
+
+type itemJSON struct {
+	ID     int       `json:"id"`
+	Center []float64 `json:"center"`
+	Radius float64   `json:"radius"`
+}
+
+type knnResponse struct {
+	K     int        `json:"k"`
+	IDs   []int      `json:"ids"`
+	Items []itemJSON `json:"items"`
+	Stats knn.Stats  `json:"stats"`
+}
+
+// observe runs f measured into the per-(collection, endpoint) latency
+// family and the request counter.
+func observe(collection, endpoint string, f func()) {
+	if !obs.On() {
+		f()
+		return
+	}
+	obsRequests.Inc()
+	sw := obs.StartTimer()
+	f()
+	sw.Stop(obs.GetOrNewHistogram("server.request_latency",
+		`collection="`+collection+`",endpoint="`+endpoint+`"`))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	if obs.On() {
+		obsBadRequests.Inc()
+	}
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	x, ok := s.lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown collection %q", name)
+		return
+	}
+	var req knnRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	sq, err := sphereJSON{Center: req.Center, Radius: req.Radius}.sphere()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad query sphere: %v", err)
+		return
+	}
+	if len(sq.Center) != x.Dim() {
+		writeError(w, http.StatusBadRequest, "query dim %d, collection dim %d", len(sq.Center), x.Dim())
+		return
+	}
+	if req.K <= 0 {
+		writeError(w, http.StatusBadRequest, "k must be >= 1, got %d", req.K)
+		return
+	}
+	observe(name, "knn", func() {
+		res := x.Search(sq, req.K)
+		resp := knnResponse{K: res.K, IDs: make([]int, 0, len(res.Items)), Stats: res.Stats}
+		for _, it := range res.Items {
+			resp.IDs = append(resp.IDs, it.ID)
+			resp.Items = append(resp.Items, itemJSON{ID: it.ID, Center: it.Sphere.Center, Radius: it.Sphere.Radius})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+type dominatesRequest struct {
+	A         sphereJSON `json:"a"`
+	B         sphereJSON `json:"b"`
+	Q         sphereJSON `json:"q"`
+	Criterion string     `json:"criterion"`
+}
+
+type dominatesResponse struct {
+	Dominates bool   `json:"dominates"`
+	Criterion string `json:"criterion"`
+}
+
+// handleDominates answers one dominance check DC(a, b, q): does a dominate
+// b with respect to the collection-dimensioned query sphere q? The
+// collection only anchors the dimensionality check; the verdict is pure
+// geometry.
+func (s *Server) handleDominates(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	x, ok := s.lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown collection %q", name)
+		return
+	}
+	var req dominatesRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	crit := dominance.Criterion(dominance.Hyperbola{})
+	if req.Criterion != "" {
+		if crit = dominance.ByName(req.Criterion); crit == nil {
+			writeError(w, http.StatusBadRequest, "unknown criterion %q", req.Criterion)
+			return
+		}
+	}
+	spheres := make([]geom.Sphere, 3)
+	for i, sj := range []sphereJSON{req.A, req.B, req.Q} {
+		sp, err := sj.sphere()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad sphere %q: %v", [3]string{"a", "b", "q"}[i], err)
+			return
+		}
+		if len(sp.Center) != x.Dim() {
+			writeError(w, http.StatusBadRequest, "sphere %q dim %d, collection dim %d",
+				[3]string{"a", "b", "q"}[i], len(sp.Center), x.Dim())
+			return
+		}
+		spheres[i] = sp
+	}
+	observe(name, "dominates", func() {
+		writeJSON(w, http.StatusOK, dominatesResponse{
+			Dominates: crit.Dominates(spheres[0], spheres[1], spheres[2]),
+			Criterion: crit.Name(),
+		})
+	})
+}
+
+type collectionJSON struct {
+	Name   string `json:"name"`
+	Items  int    `json:"items"`
+	Dim    int    `json:"dim"`
+	Shards int    `json:"shards"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make([]collectionJSON, 0, len(s.collections))
+	for name, x := range s.collections {
+		out = append(out, collectionJSON{Name: name, Items: x.Len(), Dim: x.Dim(), Shards: x.Shards()})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"collections": out})
+}

@@ -1,0 +1,21 @@
+package shard
+
+import "hyperdom/internal/obs"
+
+// Package counters of the scatter-gather layer: exposed as
+// hyperdom_shard_* in the /metrics exposition. The per-collection latency
+// families (shard.search_latency, shard.merge_latency, labeled
+// collection="...") are resolved per Index in Build.
+var (
+	// obsIndexes counts Build calls; obsShards the shards they started.
+	obsIndexes = obs.New("shard.indexes_built")
+	obsShards  = obs.New("shard.shards_started")
+	// obsQueries counts scatter-gather searches; obsScatter the per-shard
+	// candidate searches they fanned out to.
+	obsQueries = obs.New("shard.queries")
+	obsScatter = obs.New("shard.scatter_searches")
+	// obsMergeCandidates counts candidates reaching the merge layer;
+	// obsMergePruned the ones the final global-Sk filter discarded.
+	obsMergeCandidates = obs.New("shard.merge_candidates")
+	obsMergePruned     = obs.New("shard.merge_pruned")
+)

@@ -1,0 +1,34 @@
+package hyperdom
+
+import (
+	"hyperdom/internal/server"
+	"hyperdom/internal/shard"
+)
+
+// ShardedIndex is a space-partitioned scatter-gather kNN index: the
+// dataset is carved into shards, each searched by its own worker pool, and
+// queries merge the per-shard candidate streams under the global Sk with
+// cross-shard distK pushdown. Result sets are bit-identical to a
+// single-index search when the criterion is sound (Hyperbola, Exact). See
+// DESIGN.md §13.
+type ShardedIndex = shard.Index
+
+// ShardOptions configures BuildSharded.
+type ShardOptions = shard.Options
+
+// BuildSharded partitions items into opts.Shards space-partitioned shards
+// (sample-based balanced splits over item centers) and starts an engine
+// pool per shard. Close the returned index to stop the pools.
+func BuildSharded(items []Item, dim int, opts ShardOptions) (*ShardedIndex, error) {
+	return shard.Build(items, dim, opts)
+}
+
+// Server is the HTTP+JSON front of the sharded layer: multi-collection
+// routing, kNN and dominance endpoints under /v1/collections/{name}/, and
+// the obs exposition (/metrics, /debug) mounted beside them. See
+// cmd/hyperdomd for the serving binary.
+type Server = server.Server
+
+// NewServer returns a server with no collections; attach ShardedIndexes
+// with AddCollection and serve Handler().
+func NewServer() *Server { return server.New() }
