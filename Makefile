@@ -2,7 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short bench bench-all bench-parallel bench-quant fuzz experiments examples serve serve-sharded trace cover clean
+# Release identity stamped into server binaries (hyperdom_build_info on
+# /metrics). Defaults to the git describe of the checkout; override with
+# `make hyperdomd VERSION=v1.2.3`.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS  = -ldflags "-X hyperdom/internal/buildinfo.Version=$(VERSION)"
+
+.PHONY: all build check test test-short bench bench-all bench-parallel bench-quant fuzz experiments examples serve serve-sharded hyperdomd trace cover clean
 
 all: build check
 
@@ -71,7 +77,11 @@ serve:
 # Start the sharded scatter-gather kNN server on a synthetic corpus —
 # the HTTP layer of DESIGN.md §13. See README "Running the server".
 serve-sharded:
-	$(GO) run ./cmd/hyperdomd -shards 4 -addr :8080
+	$(GO) run $(LDFLAGS) ./cmd/hyperdomd -shards 4 -addr :8080
+
+# Build the version-stamped server binary into ./bin/hyperdomd.
+hyperdomd:
+	$(GO) build $(LDFLAGS) -o bin/hyperdomd ./cmd/hyperdomd
 
 # Record per-query execution traces from a Fig 13 run into trace.json —
 # load it in chrome://tracing or https://ui.perfetto.dev. See README
@@ -92,3 +102,4 @@ cover:
 
 clean:
 	rm -f cover.out trace.json
+	rm -rf bin

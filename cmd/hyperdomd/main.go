@@ -21,15 +21,19 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"hyperdom/internal/buildinfo"
 	"hyperdom/internal/dataset"
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/geom"
@@ -227,13 +231,30 @@ func buildCollection(c config, items []geom.Item, dim int, label string) (*shard
 func run(c config) error {
 	obs.SetEnabled(true)
 	knn.SetQuantMode(c.quantMode())
+	obs.SetGauge("build_info",
+		fmt.Sprintf(`version=%q,go_version=%q,quant_mode=%q`,
+			buildinfo.Version, runtime.Version(), c.quant), 1)
 
-	srv := server.New()
+	srv := server.New(server.WithLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil))))
 	defer srv.Close()
+
+	// Listen before building: liveness (/healthz) answers immediately while
+	// the corpora load and freeze, and /readyz stays 503 until every
+	// collection is mounted — orchestrators gate traffic on readiness, not
+	// on the process existing.
+	ln, err := net.Listen("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("hyperdomd listening on %s (not ready)", ln.Addr())
 
 	var items []geom.Item
 	var dim int
-	var err error
 	if c.data != "" {
 		if items, dim, err = loadCorpus(c.data); err != nil {
 			return err
@@ -269,12 +290,8 @@ func run(c config) error {
 		log.Printf("collection %s: %d items, dim %d, %d shards", nc[0], x.Len(), x.Dim(), x.Shards())
 	}
 
-	httpSrv := &http.Server{Addr: c.addr, Handler: srv.Handler()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("hyperdomd listening on %s", c.addr)
+	srv.SetReady(true)
+	log.Printf("hyperdomd ready (version %s)", buildinfo.Version)
 	select {
 	case err := <-errc:
 		return err

@@ -1,0 +1,12 @@
+// Package buildinfo carries the build-time identity of a hyperdom binary.
+// Version is stamped by the Makefile via
+//
+//	-ldflags "-X hyperdom/internal/buildinfo.Version=$(VERSION)"
+//
+// and defaults to "dev" for plain `go build`/`go test` invocations. Servers
+// export it (with the runtime's Go version and the active quant mode) as
+// the hyperdom_build_info gauge on /metrics.
+package buildinfo
+
+// Version is the stamped release identity, "dev" when unstamped.
+var Version = "dev"

@@ -1,6 +1,8 @@
 package knn
 
 import (
+	"math"
+
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/geom"
 	"hyperdom/internal/obs"
@@ -37,6 +39,29 @@ type CandidateSet struct {
 	K          int
 	Stats      Stats
 	Candidates []Candidate
+
+	// Per-shard request telemetry (ISSUE 8). Scalar by-products of the
+	// traversal the scatter-gather layer surfaces in EXPLAIN output; they
+	// ride in the (stack-allocated) CandidateSet so recording them costs the
+	// search path nothing. Deliberately NOT part of Stats — Stats equality
+	// between the packed and pointer paths is test-locked, and these fields
+	// depend on quant mode and cross-shard timing.
+
+	// CoarsePrunes counts quantized narrow-tier settlements (node + leaf)
+	// this traversal made; 0 when quant mode is off or the index is not
+	// frozen.
+	CoarsePrunes uint64
+	// BoundObserved is the external distK pushdown bound as of this
+	// traversal's completion — what its node prunes could cut against.
+	// +Inf when ext was nil or never tightened.
+	BoundObserved float64
+	// BoundPublished is this traversal's own final local distK as last
+	// published into ext (Lemma 9: a k-th-smallest over a subset, hence
+	// ≥ the final global distK). +Inf when fewer than k items were seen.
+	BoundPublished float64
+	// TraceID links to this traversal's retained execution trace in
+	// /debug/trace when it was sampled, 0 otherwise.
+	TraceID uint64
 }
 
 // SearchCandidates runs the kNN traversal and returns the surviving
@@ -58,13 +83,24 @@ func (s *Searcher) SearchCandidates(idx Index, sq geom.Sphere, k int, crit domin
 
 func (sc *scratch) searchCandidates(idx Index, sq geom.Sphere, k int, crit dominance.Criterion, algo Algorithm, ext *Bound) CandidateSet {
 	cs := CandidateSet{K: k}
+	cs.BoundObserved = math.Inf(1)
+	cs.BoundPublished = math.Inf(1)
 	l, start, ok := sc.traverse(idx, sq, k, crit, algo, ext, &cs.Stats)
 	if !ok {
 		return cs
 	}
 	cs.Candidates = l.collect()
+	// Request-telemetry scalars for the EXPLAIN layer: read the coarse-prune
+	// tallies before flushObs zeroes them, and snapshot both sides of the
+	// distK pushdown — the shard's own final local distK versus the shared
+	// bound it could prune with.
+	cs.CoarsePrunes = sc.qNodePrunes + sc.qItemPrunes
+	cs.BoundPublished = l.distK()
+	if ext != nil {
+		cs.BoundObserved = ext.Load()
+	}
 	if obs.On() {
-		sc.flushObs(idx, algo, k, start, &cs.Stats)
+		cs.TraceID = sc.flushObs(idx, algo, k, start, &cs.Stats)
 	}
 	return cs
 }

@@ -102,8 +102,11 @@ func flushStats(st *Stats) {
 // flight recorder, and zeroes the scratch-local tallies. Called once per
 // search when the obs gate is on; the scratch tallies still accumulate
 // (cheaply) when it is off, so they are also zeroed here to keep a later
-// snapshot from attributing old work to a new window.
-func (sc *scratch) flushObs(idx Index, algo Algorithm, k int, start time.Time, st *Stats) {
+// snapshot from attributing old work to a new window. The return value is
+// the ID of the span trace this search recorded, 0 when it was not sampled
+// — candidate-mode callers surface it so request-level traces can link to
+// the retained execution trace in /debug/trace.
+func (sc *scratch) flushObs(idx Index, algo Algorithm, k int, start time.Time, st *Stats) (traceID uint64) {
 	obsSearches.Inc()
 	sub := subOther
 	switch idx.(type) {
@@ -172,6 +175,9 @@ func (sc *scratch) flushObs(idx Index, algo Algorithm, k int, start time.Time, s
 			// stays among the FlightSlots slowest (tail sampling).
 			sample.Trace = sc.trace.Finish(flightSub[sub], flightAlgo[algo], k, start.UnixNano(), lat)
 			sc.tb = nil
+			if sample.Trace != nil {
+				traceID = sample.Trace.ID
+			}
 		}
 		obs.Flight.Record(sample)
 	}
@@ -181,6 +187,7 @@ func (sc *scratch) flushObs(idx Index, algo Algorithm, k int, start time.Time, s
 	// (quartic solves, overlap short-circuits) become visible with the
 	// same per-search cadence.
 	sc.list.pp.FlushObs()
+	return traceID
 }
 
 // clearObsTallies zeroes the scratch-local counters a flush (or a pool

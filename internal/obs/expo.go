@@ -42,23 +42,72 @@ func promName(name string) string {
 	return b.String()
 }
 
-// WriteMetrics writes the whole registry — counters first, then histogram
-// families — in Prometheus text exposition format.
+// WriteMetrics writes the whole registry — counters (flat and labeled),
+// then gauges, then histogram families — in Prometheus text exposition
+// format. Labeled counters carry their label pairs in the registry key
+// ("name|pairs", see GetOrNewLabeled) and are split back out here, with one
+// # TYPE line per family.
 func WriteMetrics(w io.Writer) error {
 	snap := Snapshot()
 	names := make([]string, 0, len(snap))
 	for name := range snap {
 		names = append(names, name)
 	}
-	sort.Strings(names)
-	for _, name := range names {
+	// Order by (name, labels), not by raw key: '|' sorts after '_', so raw
+	// order could split a labeled family around an unrelated longer name and
+	// emit its # TYPE line twice.
+	sort.Slice(names, func(i, j int) bool {
+		ni, li := splitLabeled(names[i])
+		nj, lj := splitLabeled(names[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return li < lj
+	})
+	var family string
+	for _, key := range names {
+		name, labels := splitLabeled(key)
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap[name]); err != nil {
+		if pn != family {
+			family = pn
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", pn); err != nil {
+				return err
+			}
+		}
+		var err error
+		if labels == "" {
+			_, err = fmt.Fprintf(w, "%s %d\n", pn, snap[key])
+		} else {
+			_, err = fmt.Fprintf(w, "%s{%s} %d\n", pn, labels, snap[key])
+		}
+		if err != nil {
 			return err
 		}
 	}
 
-	var family string
+	gk, gv := gaugeSnapshot()
+	family = ""
+	for i, key := range gk {
+		name, labels := splitLabeled(key)
+		pn := promName(name)
+		if pn != family {
+			family = pn
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", pn); err != nil {
+				return err
+			}
+		}
+		var err error
+		if labels == "" {
+			_, err = fmt.Fprintf(w, "%s %g\n", pn, gv[i])
+		} else {
+			_, err = fmt.Fprintf(w, "%s{%s} %g\n", pn, labels, gv[i])
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	family = ""
 	for _, h := range Histograms() {
 		pn := promName(h.Name()) + "_seconds"
 		if pn != family {
@@ -124,6 +173,25 @@ func Handler() http.Handler {
 			// Dump never returns nil today, but an empty recorder must
 			// serve [] — scrapers index into the array unconditionally.
 			recs = []FlightRecord{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recs); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		recs := Requests.Dump()
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			if err := WriteRequestChromeTrace(w, recs); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if recs == nil {
+			recs = []*RequestTrace{}
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

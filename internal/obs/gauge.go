@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labeled serving-level metrics (ISSUE 8). The counter registry's names are
+// flat strings; serving metrics need Prometheus label pairs (status code,
+// endpoint) without giving the hot path a map-of-maps. Both needs are met
+// by encoding the label set into the registry key — "name|pairs" — and
+// teaching the exposition writer to split it back out. Call sites resolve
+// the *Counter once per distinct label combination (the status-code ×
+// endpoint product is tiny) and pay the usual single atomic add after that.
+
+// labelSep joins a metric name and its label pairs inside the counter
+// registry. '|' cannot appear in a Prometheus metric name, so splitting on
+// the first occurrence is unambiguous.
+const labelSep = "|"
+
+// GetOrNewLabeled returns the counter registered under name with the given
+// constant Prometheus label pairs (e.g. `code="200",endpoint="knn"`),
+// creating it if needed. Counters sharing a name form one labeled family in
+// the /metrics exposition; keep the pair order consistent per family so
+// each combination resolves to a single counter.
+func GetOrNewLabeled(name, labels string) *Counter {
+	if labels == "" {
+		return GetOrNew(name)
+	}
+	return GetOrNew(name + labelSep + labels)
+}
+
+// splitLabeled splits a registry key into its metric name and label pairs.
+func splitLabeled(key string) (name, labels string) {
+	if i := strings.Index(key, labelSep); i >= 0 {
+		return key[:i], key[i+len(labelSep):]
+	}
+	return key, ""
+}
+
+// gauges is the process-wide labeled gauge table: last-write-wins float64
+// values for slow-moving facts (build info, readiness, corpus sizes) that a
+// counter cannot express. Gauge writes go through a mutex — they happen at
+// startup or config changes, never on a query path.
+var gauges struct {
+	mu sync.RWMutex
+	m  map[string]*atomicFloat
+}
+
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// SetGauge sets the gauge registered under name and constant label pairs
+// (e.g. `version="v1.2",go_version="go1.22"`; empty for none) to v,
+// creating it on first use. Gauges appear in /metrics as TYPE gauge with
+// the usual hyperdom_ naming.
+func SetGauge(name, labels string, v float64) {
+	key := name
+	if labels != "" {
+		key = name + labelSep + labels
+	}
+	gauges.mu.RLock()
+	g := gauges.m[key]
+	gauges.mu.RUnlock()
+	if g == nil {
+		gauges.mu.Lock()
+		if gauges.m == nil {
+			gauges.m = make(map[string]*atomicFloat)
+		}
+		if g = gauges.m[key]; g == nil {
+			g = &atomicFloat{}
+			gauges.m[key] = g
+		}
+		gauges.mu.Unlock()
+	}
+	g.store(v)
+}
+
+// GaugeValue returns the gauge registered under (name, labels) and whether
+// it exists.
+func GaugeValue(name, labels string) (float64, bool) {
+	key := name
+	if labels != "" {
+		key = name + labelSep + labels
+	}
+	gauges.mu.RLock()
+	defer gauges.mu.RUnlock()
+	g := gauges.m[key]
+	if g == nil {
+		return 0, false
+	}
+	return g.load(), true
+}
+
+// gaugeSnapshot returns the registered gauges as sorted (key, value) pairs
+// for the exposition writer.
+func gaugeSnapshot() (keys []string, vals []float64) {
+	gauges.mu.RLock()
+	defer gauges.mu.RUnlock()
+	keys = make([]string, 0, len(gauges.m))
+	for key := range gauges.m {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	vals = make([]float64, len(keys))
+	for i, key := range keys {
+		vals[i] = gauges.m[key].load()
+	}
+	return keys, vals
+}

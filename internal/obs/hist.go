@@ -341,4 +341,10 @@ func ResetForTest() {
 	}
 	histRegistry.mu.RUnlock()
 	Flight.Reset()
+	Requests.Reset()
+	gauges.mu.RLock()
+	for _, g := range gauges.m {
+		g.store(0)
+	}
+	gauges.mu.RUnlock()
 }

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Request-scoped tracing (ISSUE 8). A served kNN request fans out to N
+// shards and merges under the global Sk; the per-process TraceBuf spans
+// (ISSUE 4) explain one traversal, but not the request: which shard was
+// slow, how long its task sat in the engine queue, how many candidates it
+// streamed, and whether the cross-shard distK pushdown actually tightened
+// its bound. RequestTrace is that missing layer — a root span per HTTP
+// request, one ShardSpan child per shard, and the final merge/filter span —
+// recorded by the serving layer and retained for the slowest requests in
+// the Requests ring (served at /debug/requests, Chrome trace_event export
+// included, linked to the per-traversal traces by trace_id).
+
+// BoundValue is a float64 that marshals non-finite values (the +Inf a
+// never-tightened distK bound reports) as JSON null instead of failing the
+// whole encode.
+type BoundValue float64
+
+// MarshalJSON implements json.Marshaler.
+func (v BoundValue) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return []byte("null"), nil
+	}
+	return strconv.AppendFloat(nil, f, 'g', -1, 64), nil
+}
+
+// ShardSpan is one shard's slice of a scatter-gather request: the latency
+// and queue wait of its candidate search, the work its traversal performed,
+// and the distK pushdown traffic it saw. BoundObserved is the shared global
+// bound as of the shard's completion (what the traversal could prune with);
+// BoundPublished is the shard's own final local distK as pushed into the
+// bound. BoundObserved < BoundPublished means another shard's publication
+// tightened this shard's pruning — the pushdown was effective here.
+type ShardSpan struct {
+	Shard          int        `json:"shard"`
+	Items          int        `json:"items"` // items resident in the shard
+	LatencyNs      int64      `json:"latency_ns"`
+	QueueWaitNs    int64      `json:"queue_wait_ns"`
+	Candidates     int        `json:"candidates"`
+	NodesVisited   int        `json:"nodes_visited"`
+	ItemsScanned   int        `json:"items_scanned"`
+	CoarsePrunes   uint64     `json:"coarse_prunes"`
+	BoundObserved  BoundValue `json:"distk_observed"`
+	BoundPublished BoundValue `json:"distk_published"`
+	// TraceID links to this traversal's retained execution trace in
+	// /debug/trace when it was sampled (SetTraceEvery), 0 otherwise.
+	TraceID uint64 `json:"trace_id,omitempty"`
+}
+
+// MergeSpan is the gather side of a request: merging the per-shard
+// candidate streams and applying the one final global-Sk filter.
+type MergeSpan struct {
+	LatencyNs  int64 `json:"latency_ns"`
+	Candidates int   `json:"candidates"`
+	Pruned     int   `json:"pruned"`
+	Results    int   `json:"results"`
+}
+
+// RequestTrace is one served request's full trace tree. Instances are
+// immutable once recorded; the ring and exporters share them by pointer.
+type RequestTrace struct {
+	RequestID  string      `json:"request_id"`
+	Collection string      `json:"collection"`
+	Endpoint   string      `json:"endpoint"`
+	Status     int         `json:"status"`
+	K          int         `json:"k"`
+	WhenUnixNs int64       `json:"when_unix_ns"`
+	LatencyNs  int64       `json:"latency_ns"`
+	Shards     []ShardSpan `json:"shards"`
+	Merge      MergeSpan   `json:"merge"`
+}
+
+// RequestSlots is the request ring capacity.
+const RequestSlots = 64
+
+// RequestRecorder retains the slowest recent requests. Unlike the seqlock
+// flight recorder, the ring is mutex-guarded — requests arrive at HTTP
+// rate, orders of magnitude below the per-traversal recorder, so a lock is
+// cheap and keeps slot writes (which carry a slice) simple. The zero value
+// is ready.
+type RequestRecorder struct {
+	mu    sync.Mutex
+	slots [RequestSlots]*RequestTrace
+	used  int
+}
+
+// Requests is the process-wide request recorder the serving layer records
+// into; /debug/requests serves its dump.
+var Requests = &RequestRecorder{}
+
+// Record offers one request to the ring: admitted while the ring has free
+// slots, then only when slower than the currently fastest retained request
+// (which it evicts).
+func (rr *RequestRecorder) Record(t *RequestTrace) {
+	if t == nil {
+		return
+	}
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if rr.used < RequestSlots {
+		rr.slots[rr.used] = t
+		rr.used++
+		return
+	}
+	mi := 0
+	for i := 1; i < RequestSlots; i++ {
+		if rr.slots[i].LatencyNs < rr.slots[mi].LatencyNs {
+			mi = i
+		}
+	}
+	if t.LatencyNs > rr.slots[mi].LatencyNs {
+		rr.slots[mi] = t
+	}
+}
+
+// Dump returns the retained requests sorted by descending latency.
+func (rr *RequestRecorder) Dump() []*RequestTrace {
+	rr.mu.Lock()
+	out := make([]*RequestTrace, rr.used)
+	copy(out, rr.slots[:rr.used])
+	rr.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].LatencyNs != out[b].LatencyNs {
+			return out[a].LatencyNs > out[b].LatencyNs
+		}
+		return out[a].WhenUnixNs > out[b].WhenUnixNs
+	})
+	return out
+}
+
+// Reset empties the ring.
+func (rr *RequestRecorder) Reset() {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	for i := range rr.slots {
+		rr.slots[i] = nil
+	}
+	rr.used = 0
+}
+
+// WriteRequestChromeTrace writes the request traces as one Chrome
+// trace_event JSON document: each request becomes its own process, with the
+// root request span and the merge span on thread 0 and one thread per shard
+// span. Shard and merge timestamps are offsets within the scatter-gather
+// (all shards scatter at once), not wall-aligned sub-microsecond truth; the
+// root span carries the request's true wall latency. An empty set produces
+// a valid document with "traceEvents": [].
+func WriteRequestChromeTrace(w io.Writer, traces []*RequestTrace) error {
+	var minWhen int64
+	for i, t := range traces {
+		if i == 0 || t.WhenUnixNs < minWhen {
+			minWhen = t.WhenUnixNs
+		}
+	}
+	events := make([]map[string]any, 0, 2+4*len(traces))
+	for ti, t := range traces {
+		pid := ti + 1
+		base := float64(t.WhenUnixNs-minWhen) / 1e3
+		events = append(events, map[string]any{
+			"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+			"args": map[string]any{"name": fmt.Sprintf("request %s %s/%s %.3fms",
+				t.RequestID, t.Collection, t.Endpoint, float64(t.LatencyNs)/1e6)},
+		})
+		events = append(events, map[string]any{
+			"name": t.Endpoint, "cat": "request", "ph": "X", "pid": pid, "tid": 0,
+			"ts": base, "dur": float64(t.LatencyNs) / 1e3,
+			"args": map[string]any{
+				"request_id": t.RequestID,
+				"collection": t.Collection,
+				"status":     t.Status,
+				"k":          t.K,
+				"shards":     len(t.Shards),
+			},
+		})
+		var maxShard int64
+		for _, sp := range t.Shards {
+			if sp.LatencyNs > maxShard {
+				maxShard = sp.LatencyNs
+			}
+			events = append(events, map[string]any{
+				"name": "thread_name", "ph": "M", "pid": pid, "tid": sp.Shard + 1,
+				"args": map[string]any{"name": fmt.Sprintf("shard %d", sp.Shard)},
+			})
+			args := map[string]any{
+				"request_id":      t.RequestID,
+				"queue_wait_ns":   sp.QueueWaitNs,
+				"candidates":      sp.Candidates,
+				"nodes_visited":   sp.NodesVisited,
+				"items_scanned":   sp.ItemsScanned,
+				"coarse_prunes":   sp.CoarsePrunes,
+				"distk_observed":  sp.BoundObserved,
+				"distk_published": sp.BoundPublished,
+			}
+			if sp.TraceID != 0 {
+				args["trace_id"] = sp.TraceID
+			}
+			events = append(events, map[string]any{
+				"name": "shard-search", "cat": "request", "ph": "X",
+				"pid": pid, "tid": sp.Shard + 1,
+				"ts": base, "dur": float64(sp.LatencyNs) / 1e3,
+				"args": args,
+			})
+		}
+		events = append(events, map[string]any{
+			"name": "merge", "cat": "request", "ph": "X", "pid": pid, "tid": 0,
+			"ts": base + float64(maxShard)/1e3, "dur": float64(t.Merge.LatencyNs) / 1e3,
+			"args": map[string]any{
+				"request_id": t.RequestID,
+				"candidates": t.Merge.Candidates,
+				"pruned":     t.Merge.Pruned,
+				"results":    t.Merge.Results,
+			},
+		})
+	}
+	doc := map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ns",
+	}
+	return json.NewEncoder(w).Encode(doc)
+}

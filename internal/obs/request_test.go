@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestBoundValueMarshal(t *testing.T) {
+	b, err := json.Marshal(map[string]BoundValue{
+		"inf":  BoundValue(math.Inf(1)),
+		"ninf": BoundValue(math.Inf(-1)),
+		"nan":  BoundValue(math.NaN()),
+		"v":    BoundValue(2.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"inf":null`, `"ninf":null`, `"nan":null`, `"v":2.5`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("marshal %s missing %s", s, want)
+		}
+	}
+}
+
+func TestRequestRecorderAdmissionAndDump(t *testing.T) {
+	rr := &RequestRecorder{}
+	// Fill beyond capacity with ascending latencies; the RequestSlots
+	// slowest must survive.
+	for i := 0; i < RequestSlots+16; i++ {
+		rr.Record(&RequestTrace{RequestID: "r", LatencyNs: int64(i + 1)})
+	}
+	dump := rr.Dump()
+	if len(dump) != RequestSlots {
+		t.Fatalf("dump %d, want %d", len(dump), RequestSlots)
+	}
+	for i := 1; i < len(dump); i++ {
+		if dump[i].LatencyNs > dump[i-1].LatencyNs {
+			t.Fatalf("dump not sorted desc at %d: %d > %d", i, dump[i].LatencyNs, dump[i-1].LatencyNs)
+		}
+	}
+	// The fastest retained must be the (16+1)-th slowest overall.
+	if got, want := dump[len(dump)-1].LatencyNs, int64(17); got != want {
+		t.Fatalf("fastest retained %d, want %d", got, want)
+	}
+	// A too-fast request is rejected once full.
+	rr.Record(&RequestTrace{RequestID: "fast", LatencyNs: 1})
+	for _, d := range rr.Dump() {
+		if d.RequestID == "fast" {
+			t.Fatal("too-fast request admitted into a full ring")
+		}
+	}
+	rr.Reset()
+	if got := rr.Dump(); len(got) != 0 {
+		t.Fatalf("dump after reset: %d", len(got))
+	}
+}
+
+func TestRequestChromeTraceExport(t *testing.T) {
+	traces := []*RequestTrace{{
+		RequestID:  "abc-1",
+		Collection: "default",
+		Endpoint:   "knn",
+		Status:     200,
+		K:          5,
+		WhenUnixNs: 1000,
+		LatencyNs:  500,
+		Shards: []ShardSpan{
+			{Shard: 0, LatencyNs: 200, Candidates: 7, BoundObserved: BoundValue(math.Inf(1)), BoundPublished: 3.5, TraceID: 42},
+			{Shard: 1, LatencyNs: 300, Candidates: 9, BoundObserved: 3.5, BoundPublished: 3.5},
+		},
+		Merge: MergeSpan{LatencyNs: 50, Candidates: 16, Pruned: 11, Results: 5},
+	}}
+	var sb strings.Builder
+	if err := WriteRequestChromeTrace(&sb, traces); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid trace_event JSON: %v\n%s", err, sb.String())
+	}
+	// 1 process meta + 1 root + 2 thread metas + 2 shard spans + 1 merge.
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("%d events, want 7\n%s", len(doc.TraceEvents), sb.String())
+	}
+	shardSpans, withTraceID := 0, 0
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "shard-search" {
+			shardSpans++
+			args := e["args"].(map[string]any)
+			if args["request_id"] != "abc-1" {
+				t.Fatalf("shard span missing request_id: %v", e)
+			}
+			if _, ok := args["trace_id"]; ok {
+				withTraceID++
+			}
+			// The Inf bound must surface as null, never +Inf (which
+			// would have failed the whole encode).
+			if v, ok := args["distk_observed"]; ok && v != nil {
+				if f, isF := v.(float64); isF && math.IsInf(f, 0) {
+					t.Fatalf("Inf leaked into trace args: %v", e)
+				}
+			}
+		}
+	}
+	if shardSpans != 2 || withTraceID != 1 {
+		t.Fatalf("shard spans %d (with trace_id %d), want 2 (1)", shardSpans, withTraceID)
+	}
+
+	// Empty set still produces a valid document.
+	sb.Reset()
+	if err := WriteRequestChromeTrace(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty export has %d events", len(doc.TraceEvents))
+	}
+}
+
+func TestDebugRequestsEndpoint(t *testing.T) {
+	ResetForTest()
+	Requests.Record(&RequestTrace{
+		RequestID: "req-9", Collection: "default", Endpoint: "knn",
+		Status: 200, K: 3, LatencyNs: 1234,
+		Shards: []ShardSpan{{Shard: 0, Candidates: 5, BoundObserved: BoundValue(math.Inf(1))}},
+	})
+	defer ResetForTest()
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+
+	body := httpGet(t, ts.URL+"/debug/requests")
+	var recs []RequestTrace
+	if err := json.Unmarshal([]byte(body), &recs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if len(recs) != 1 || recs[0].RequestID != "req-9" || len(recs[0].Shards) != 1 {
+		t.Fatalf("records %+v", recs)
+	}
+	if !strings.Contains(body, `"distk_observed": null`) {
+		t.Fatalf("Inf bound not serialized as null:\n%s", body)
+	}
+
+	chrome := httpGet(t, ts.URL+"/debug/requests?format=chrome")
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(chrome), &doc); err != nil {
+		t.Fatalf("invalid chrome JSON: %v\n%s", err, chrome)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export empty")
+	}
+
+	// Empty recorder must serve [].
+	ResetForTest()
+	body = httpGet(t, ts.URL+"/debug/requests")
+	if strings.TrimSpace(body) != "[]" {
+		t.Fatalf("empty dump = %q, want []", body)
+	}
+}
+
+func TestLabeledCountersAndGaugesExposition(t *testing.T) {
+	ResetForTest()
+	SetEnabled(true)
+	defer SetEnabled(false)
+	defer ResetForTest()
+
+	GetOrNewLabeled("server.requests_total", `code="200",endpoint="knn"`).Add(3)
+	GetOrNewLabeled("server.requests_total", `code="404",endpoint="knn"`).Inc()
+	SetGauge("build_info", `version="test",go_version="go0",quant_mode="f32"`, 1)
+	SetGauge("plain_gauge", "", 2.5)
+
+	var sb strings.Builder
+	if err := WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		`hyperdom_server_requests_total{code="200",endpoint="knn"} 3`,
+		`hyperdom_server_requests_total{code="404",endpoint="knn"} 1`,
+		"# TYPE hyperdom_server_requests_total counter",
+		"# TYPE hyperdom_build_info gauge",
+		`hyperdom_build_info{version="test",go_version="go0",quant_mode="f32"} 1`,
+		"hyperdom_plain_gauge 2.5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q\n%s", want, body)
+		}
+	}
+	// One # TYPE line per family even with several label sets.
+	if got := strings.Count(body, "# TYPE hyperdom_server_requests_total counter"); got != 1 {
+		t.Fatalf("requests_total TYPE lines = %d, want 1", got)
+	}
+
+	if v, ok := GaugeValue("plain_gauge", ""); !ok || v != 2.5 {
+		t.Fatalf("GaugeValue = %v, %v", v, ok)
+	}
+	if _, ok := GaugeValue("missing", ""); ok {
+		t.Fatal("missing gauge reported present")
+	}
+}

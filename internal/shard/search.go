@@ -2,12 +2,25 @@ package shard
 
 import (
 	"fmt"
+	"time"
 
 	"hyperdom/internal/dominance"
+	"hyperdom/internal/engine"
 	"hyperdom/internal/geom"
 	"hyperdom/internal/knn"
 	"hyperdom/internal/obs"
 )
+
+// Explain is the request-scoped trace tree of one scatter-gather search
+// (ISSUE 8): one ShardSpan per shard — latency, engine queue wait,
+// candidates streamed, traversal work, coarse-prune hits, and the distK
+// pushdown bound observed vs. published — plus the final merge/filter span.
+// The serving layer wraps it in an obs.RequestTrace; semantics are spelled
+// out in DESIGN.md §14.
+type Explain struct {
+	Shards []obs.ShardSpan `json:"shards"`
+	Merge  obs.MergeSpan   `json:"merge"`
+}
 
 // Search answers the Definition 2 kNN query by scatter-gather: broadcast
 // to every shard, merge the per-shard candidate streams, compute the
@@ -19,6 +32,21 @@ import (
 // disabled (racing bound publications otherwise change how much work each
 // traversal happens to do, never the answer).
 func (x *Index) Search(sq geom.Sphere, k int) knn.Result {
+	return x.search(sq, k, nil)
+}
+
+// SearchExplain is Search plus the per-request trace tree. The result is
+// bit-identical to Search over the same data (the trace records scalar
+// by-products the traversals produce anyway); the extra cost is two slice
+// allocations per request and a few clock reads per shard, independent of
+// the process-wide obs gate.
+func (x *Index) SearchExplain(sq geom.Sphere, k int) (knn.Result, *Explain) {
+	ex := &Explain{}
+	res := x.search(sq, k, ex)
+	return res, ex
+}
+
+func (x *Index) search(sq geom.Sphere, k int, ex *Explain) knn.Result {
 	if k <= 0 {
 		panic(fmt.Sprintf("shard: k = %d", k))
 	}
@@ -37,15 +65,43 @@ func (x *Index) Search(sq geom.Sphere, k int) knn.Result {
 	// Scatter: one candidate search per shard, each through that shard's
 	// engine pool (so it runs on the pool's warm arenas). Results arrive
 	// in completion order so the gather loop can tighten the shared bound
-	// for shards still in flight.
+	// for shards still in flight. The explain path pre-sizes its span and
+	// telemetry slices here — the per-shard recording itself is plain
+	// scalar stores, zero allocations per shard.
 	type arrival struct {
 		i  int
 		cs knn.CandidateSet
 	}
+	var tts []engine.TaskTelemetry
+	if ex != nil {
+		ex.Shards = make([]obs.ShardSpan, len(x.shards))
+		tts = make([]engine.TaskTelemetry, len(x.shards))
+	}
 	ch := make(chan arrival, len(x.shards))
 	for i := range x.shards {
+		if ex == nil {
+			go func(i int) {
+				ch <- arrival{i, x.shards[i].eng.SearchCandidates(sq, k, ext, nil)}
+			}(i)
+			continue
+		}
 		go func(i int) {
-			ch <- arrival{i, x.shards[i].eng.SearchCandidates(sq, k, ext)}
+			t0 := time.Now()
+			cs := x.shards[i].eng.SearchCandidates(sq, k, ext, &tts[i])
+			ex.Shards[i] = obs.ShardSpan{
+				Shard:          i,
+				Items:          x.shards[i].n,
+				LatencyNs:      time.Since(t0).Nanoseconds(),
+				QueueWaitNs:    tts[i].QueueWaitNs,
+				Candidates:     len(cs.Candidates),
+				NodesVisited:   cs.Stats.NodesVisited,
+				ItemsScanned:   cs.Stats.Items,
+				CoarsePrunes:   cs.CoarsePrunes,
+				BoundObserved:  obs.BoundValue(cs.BoundObserved),
+				BoundPublished: obs.BoundValue(cs.BoundPublished),
+				TraceID:        cs.TraceID,
+			}
+			ch <- arrival{i, cs}
 		}(i)
 	}
 
@@ -81,7 +137,18 @@ func (x *Index) Search(sq geom.Sphere, k int) knn.Result {
 	if on {
 		msw = obs.StartTimer()
 	}
-	res.Items = x.merge(sets, sq, k, &res.Stats)
+	var mt time.Time
+	if ex != nil {
+		mt = time.Now()
+	}
+	var ms *obs.MergeSpan
+	if ex != nil {
+		ms = &ex.Merge
+	}
+	res.Items = x.merge(sets, sq, k, &res.Stats, ms)
+	if ex != nil {
+		ex.Merge.LatencyNs = time.Since(mt).Nanoseconds()
+	}
 	if on {
 		msw.Stop(x.histMerge)
 		sw.Stop(x.histSearch)
@@ -92,11 +159,16 @@ func (x *Index) Search(sq geom.Sphere, k int) knn.Result {
 // merge N sorted candidate streams into the final Definition 2 answer:
 // k-th smallest (MaxDist, ID) of the union is Sk, and every candidate Sk
 // does not provably dominate survives, in merged order. Fewer than k
-// candidates in total means the whole database qualified.
-func (x *Index) merge(sets []knn.CandidateSet, sq geom.Sphere, k int, stats *knn.Stats) []geom.Item {
+// candidates in total means the whole database qualified. ms, when
+// non-nil, receives the merge's explain scalars (candidates folded, final
+// filter prunes, results kept).
+func (x *Index) merge(sets []knn.CandidateSet, sq geom.Sphere, k int, stats *knn.Stats, ms *obs.MergeSpan) []geom.Item {
 	total := 0
 	for i := range sets {
 		total += len(sets[i].Candidates)
+	}
+	if ms != nil {
+		ms.Candidates = total
 	}
 	if total == 0 {
 		return nil
@@ -129,6 +201,9 @@ func (x *Index) merge(sets []knn.CandidateSet, sq geom.Sphere, k int, stats *knn
 		for i, c := range merged {
 			out[i] = c.Item
 		}
+		if ms != nil {
+			ms.Results = len(out)
+		}
 		return out
 	}
 	sk := merged[k-1].Item
@@ -152,6 +227,10 @@ func (x *Index) merge(sets []knn.CandidateSet, sq geom.Sphere, k int, stats *knn
 		out = append(out, c.Item)
 	}
 	stats.Pruned += pruned
+	if ms != nil {
+		ms.Pruned = pruned
+		ms.Results = len(out)
+	}
 	if obs.On() {
 		obsMergePruned.Add(uint64(pruned))
 		pp.FlushObs()
