@@ -58,6 +58,12 @@ type config struct {
 	quant       string
 	noPushdown  bool
 
+	timelinePeriod time.Duration
+	timelineSlots  int
+	healthP99      time.Duration
+	healthErrRate  float64
+	healthQueueSat float64
+
 	oracle  bool
 	k       int
 	query   string
@@ -80,6 +86,11 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&c.algo, "algo", "hs", "per-shard traversal: hs|df")
 	fs.StringVar(&c.quant, "quant", "f32", "coarse-filter tier: none|f32|i8")
 	fs.BoolVar(&c.noPushdown, "no-pushdown", false, "disable cross-shard distK pushdown")
+	fs.DurationVar(&c.timelinePeriod, "timeline-period", obs.DefaultTimelinePeriod, "telemetry timeline tick (window rotation) period")
+	fs.IntVar(&c.timelineSlots, "timeline-slots", obs.DefaultTimelineSlots, "telemetry timeline ring capacity (snapshots retained)")
+	fs.DurationVar(&c.healthP99, "health-p99", 250*time.Millisecond, "degraded when windowed request p99 exceeds this (0 disables)")
+	fs.Float64Var(&c.healthErrRate, "health-error-rate", 0.05, "degraded when windowed 5xx fraction exceeds this (0 disables)")
+	fs.Float64Var(&c.healthQueueSat, "health-queue-sat", 0.8, "degraded when engine queue depth/capacity exceeds this (0 disables)")
 	fs.BoolVar(&c.oracle, "oracle", false, "answer one query in process (single-index oracle) and exit")
 	fs.IntVar(&c.k, "k", 5, "oracle: k")
 	fs.StringVar(&c.query, "query", "", "oracle: query center as c1,c2,...")
@@ -234,6 +245,19 @@ func run(c config) error {
 	obs.SetGauge("build_info",
 		fmt.Sprintf(`version=%q,go_version=%q,quant_mode=%q`,
 			buildinfo.Version, runtime.Version(), c.quant), 1)
+
+	// Time-aware telemetry (ISSUE 9): the timeline ticker drives window
+	// rotation, rate deltas, runtime sampling and the snapshot ring; the
+	// health thresholds turn those windows into the /debug/health verdict
+	// (and the degraded notes on /readyz).
+	obs.SetHealthConfig(obs.HealthConfig{
+		LatencyFamily:      "server.request_latency",
+		LatencyP99Max:      c.healthP99,
+		ErrorRateMax:       c.healthErrRate,
+		QueueSaturationMax: c.healthQueueSat,
+	})
+	obs.StartTimeline(c.timelinePeriod, c.timelineSlots)
+	defer obs.StopTimeline()
 
 	srv := server.New(server.WithLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil))))
 	defer srv.Close()

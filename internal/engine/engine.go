@@ -116,6 +116,7 @@ func New(idx knn.Index, opts ...Option) *Engine {
 	for i := 0; i < e.workers; i++ {
 		go e.worker()
 	}
+	trackEngine(e)
 	return e
 }
 
@@ -245,6 +246,9 @@ func (e *Engine) Algorithm() knn.Algorithm { return e.algo }
 // for them to exit. Safe to call more than once; submitting after Close
 // panics.
 func (e *Engine) Close() {
-	e.closing.Do(func() { close(e.queue) })
+	e.closing.Do(func() {
+		untrackEngine(e)
+		close(e.queue)
+	})
 	e.done.Wait()
 }

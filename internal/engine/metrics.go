@@ -1,6 +1,10 @@
 package engine
 
-import "hyperdom/internal/obs"
+import (
+	"sync"
+
+	"hyperdom/internal/obs"
+)
 
 // Engine observability: pool lifecycle, submission/completion flow and
 // queue-wait latency. engine.submitted − engine.completed is the number of
@@ -17,3 +21,57 @@ var (
 
 	histQueueWait = obs.NewHistogram("engine.queue_wait", "")
 )
+
+// Saturation gauges (ISSUE 9). Queue depth and capacity are instantaneous
+// facts of live pools, not monotone counters, so they are exposed as
+// callback gauges summed over every running Engine: engine.queue_depth is
+// how many submitted tasks currently sit unclaimed across all pools,
+// engine.queue_capacity the total bounded-queue headroom. depth ÷ capacity
+// is the saturation ratio the /debug/health queue check grades. New adds a
+// pool to the live set, Close removes it; the callbacks only read channel
+// len/cap, so a scrape never blocks a query.
+var liveEngines struct {
+	mu sync.Mutex
+	m  map[*Engine]struct{}
+}
+
+func init() {
+	obs.RegisterGaugeFunc("engine.queue_depth", "", func() float64 {
+		liveEngines.mu.Lock()
+		defer liveEngines.mu.Unlock()
+		var depth int
+		for e := range liveEngines.m {
+			depth += len(e.queue)
+		}
+		return float64(depth)
+	})
+	obs.RegisterGaugeFunc("engine.queue_capacity", "", func() float64 {
+		liveEngines.mu.Lock()
+		defer liveEngines.mu.Unlock()
+		var capacity int
+		for e := range liveEngines.m {
+			capacity += cap(e.queue)
+		}
+		return float64(capacity)
+	})
+	obs.RegisterGaugeFunc("engine.pools_live", "", func() float64 {
+		liveEngines.mu.Lock()
+		defer liveEngines.mu.Unlock()
+		return float64(len(liveEngines.m))
+	})
+}
+
+func trackEngine(e *Engine) {
+	liveEngines.mu.Lock()
+	if liveEngines.m == nil {
+		liveEngines.m = make(map[*Engine]struct{})
+	}
+	liveEngines.m[e] = struct{}{}
+	liveEngines.mu.Unlock()
+}
+
+func untrackEngine(e *Engine) {
+	liveEngines.mu.Lock()
+	delete(liveEngines.m, e)
+	liveEngines.mu.Unlock()
+}

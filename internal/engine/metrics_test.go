@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/geom"
+	"hyperdom/internal/knn"
+	"hyperdom/internal/obs"
+	"hyperdom/internal/sstree"
+)
+
+// TestQueueSaturationGauges pins the live-pool callback gauges (ISSUE 9):
+// New registers a pool's bounded-queue capacity, Close removes it, and the
+// gauges read through obs.GaugeValue at any moment.
+func TestQueueSaturationGauges(t *testing.T) {
+	gauge := func(name string) float64 {
+		t.Helper()
+		v, ok := obs.GaugeValue(name, "")
+		if !ok {
+			t.Fatalf("gauge %s not registered", name)
+		}
+		return v
+	}
+	baseCap := gauge("engine.queue_capacity")
+	basePools := gauge("engine.pools_live")
+
+	rng := rand.New(rand.NewSource(901))
+	ss := sstree.New(3)
+	for i := 0; i < 50; i++ {
+		c := []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		ss.Insert(geom.Item{Sphere: geom.NewSphere(c, rng.Float64()), ID: i})
+	}
+	e := New(knn.WrapSSTree(ss), WithWorkers(2))
+	wantCap := float64(2 * queueDepthPerWorker)
+	if got := gauge("engine.queue_capacity") - baseCap; got != wantCap {
+		t.Errorf("queue_capacity delta = %v after New, want %v", got, wantCap)
+	}
+	if got := gauge("engine.pools_live") - basePools; got != 1 {
+		t.Errorf("pools_live delta = %v after New, want 1", got)
+	}
+	if got := gauge("engine.queue_depth"); got < 0 {
+		t.Errorf("queue_depth = %v, want ≥ 0", got)
+	}
+
+	// A working pool keeps depth within capacity.
+	for i := 0; i < 8; i++ {
+		e.Search(geom.NewSphere([]float64{50, 50, 50}, 1), 3)
+	}
+	if depth, capacity := gauge("engine.queue_depth"), gauge("engine.queue_capacity"); depth > capacity {
+		t.Errorf("queue_depth %v exceeds capacity %v", depth, capacity)
+	}
+
+	e.Close()
+	if got := gauge("engine.queue_capacity") - baseCap; got != 0 {
+		t.Errorf("queue_capacity delta = %v after Close, want 0", got)
+	}
+	if got := gauge("engine.pools_live") - basePools; got != 0 {
+		t.Errorf("pools_live delta = %v after Close, want 0", got)
+	}
+}

@@ -15,11 +15,17 @@ import (
 // The exposition server (ISSUE 3): obs.Handler serves every observability
 // surface of the process over HTTP —
 //
-//	/metrics     counters and histogram buckets in Prometheus text format
-//	/debug/slow  the flight recorder's slowest-queries dump as JSON
-//	/debug/trace the retained execution traces as Chrome trace_event JSON
-//	/debug/vars  the expvar export (including the "hyperdom" snapshot)
-//	/debug/pprof the runtime profiler endpoints
+//	/metrics        counters and histogram buckets in Prometheus text
+//	                format, plus the windowed *_1m quantile and rate
+//	                families when the timeline is ticking
+//	/debug/slow     the flight recorder's slowest-queries dump as JSON
+//	/debug/trace    the retained execution traces as Chrome trace_event JSON
+//	/debug/timeline the timeline ring: periodic windowed-quantile /
+//	                rate / runtime snapshots, oldest first, as JSON
+//	/debug/health   the structured ok/degraded/unhealthy verdict (503
+//	                when unhealthy)
+//	/debug/vars     the expvar export (including the "hyperdom" snapshot)
+//	/debug/pprof    the runtime profiler endpoints
 //
 // Metric names follow the hyperdom_* convention: the registry name with
 // every non-alphanumeric rune mapped to '_' behind a "hyperdom_" prefix,
@@ -120,6 +126,71 @@ func WriteMetrics(w io.Writer) error {
 			return err
 		}
 	}
+	return writeWindowedMetrics(w)
+}
+
+// writeWindowedMetrics emits the sliding-window families (ISSUE 9):
+// per-family windowed quantile gauges suffixed "_1m" (nominal — the true
+// span is WinSlots rotation periods) and, when the timeline rate ring is
+// ticking, windowed per-second counter rates suffixed "_rate_1m". Gauge
+// typed: windowed values go down as well as up.
+func writeWindowedMetrics(w io.Writer) error {
+	for _, name := range histogramFamilies() {
+		ws := MergedWindow(name)
+		if ws.Count == 0 {
+			continue
+		}
+		pn := promName(name) + "_seconds_1m"
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", pn); err != nil {
+			return err
+		}
+		for _, q := range [...]struct {
+			label string
+			p     float64
+		}{{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}, {"0.999", 0.999}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n",
+				pn, q.label, ws.Quantile(q.p)/1e9); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s_count gauge\n%s_count %d\n", pn, pn, ws.Count); err != nil {
+			return err
+		}
+	}
+
+	rates := Rates.RatesPerSec()
+	keys := make([]string, 0, len(rates))
+	for key := range rates {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ni, li := splitLabeled(keys[i])
+		nj, lj := splitLabeled(keys[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return li < lj
+	})
+	family := ""
+	for _, key := range keys {
+		name, labels := splitLabeled(key)
+		pn := promName(name) + "_rate_1m"
+		if pn != family {
+			family = pn
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", pn); err != nil {
+				return err
+			}
+		}
+		var err error
+		if labels == "" {
+			_, err = fmt.Fprintf(w, "%s %g\n", pn, rates[key])
+		} else {
+			_, err = fmt.Fprintf(w, "%s{%s} %g\n", pn, labels, rates[key])
+		}
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -196,6 +267,27 @@ func Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(recs); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/timeline", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		snaps := TimelineSnapshots() // never nil: an empty ring serves []
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snaps); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
+		v := Health()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if v.Status == HealthUnhealthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

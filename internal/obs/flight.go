@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The query flight recorder (ISSUE 3) retains the K slowest recent queries
@@ -93,7 +94,12 @@ type FlightSample struct {
 // FlightRecord is the reader-facing form of a retained query, as served by
 // /debug/slow.
 type FlightRecord struct {
-	WhenUnixNs int64  `json:"when_unix_ns"`
+	WhenUnixNs int64 `json:"when_unix_ns"`
+	// When renders WhenUnixNs as RFC3339Nano wall-clock text (zero time for
+	// never-stamped records), so /debug/slow entries correlate with the
+	// timeline ring, /debug/requests and external logs (ISSUE 9). Filled at
+	// Dump time — the record path stays scalar-only.
+	When       string `json:"when"`
 	LatencyNs  int64  `json:"latency_ns"`
 	Substrate  string `json:"substrate"`
 	Algo       string `json:"algo"`
@@ -204,9 +210,11 @@ func (f *FlightRecorder) Dump() []FlightRecord {
 			if v1&1 == 1 { // write in flight
 				continue
 			}
+			when := sl.when.Load()
 			rec := FlightRecord{
 				LatencyNs:  sl.lat.Load(),
-				WhenUnixNs: sl.when.Load(),
+				WhenUnixNs: when,
+				When:       time.Unix(0, when).Format(time.RFC3339Nano),
 				Substrate:  labelName(LabelID(sl.sub.Load())),
 				Algo:       labelName(LabelID(sl.algo.Load())),
 				K:          int(sl.k.Load()),

@@ -3,6 +3,7 @@ package obs
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestFlightAdmitAndReplace fills a fresh ring past capacity and checks the
@@ -150,5 +151,24 @@ func TestFlightLabelIntern(t *testing.T) {
 	}
 	if got := labelName(LabelID(1 << 30)); got != "" {
 		t.Errorf("unknown LabelID resolved to %q, want empty", got)
+	}
+}
+
+// TestFlightDumpWallClock checks Dump renders when_unix_ns as an RFC3339
+// when string (ISSUE 9: /debug/slow correlates with the timeline and logs).
+func TestFlightDumpWallClock(t *testing.T) {
+	var f FlightRecorder
+	when := time.Date(2026, 8, 7, 12, 30, 45, 123456789, time.UTC)
+	f.Record(FlightSample{WhenUnixNs: when.UnixNano(), LatencyNs: 999})
+	dump := f.Dump()
+	if len(dump) != 1 {
+		t.Fatalf("dump holds %d records, want 1", len(dump))
+	}
+	got, err := time.Parse(time.RFC3339Nano, dump[0].When)
+	if err != nil {
+		t.Fatalf("When %q not RFC3339Nano: %v", dump[0].When, err)
+	}
+	if got.UnixNano() != when.UnixNano() {
+		t.Errorf("When = %v, want %v", got, when)
 	}
 }

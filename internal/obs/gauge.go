@@ -82,34 +82,105 @@ func SetGauge(name, labels string, v float64) {
 }
 
 // GaugeValue returns the gauge registered under (name, labels) and whether
-// it exists.
+// it exists. Callback gauges (RegisterGaugeFunc) are evaluated on the spot.
 func GaugeValue(name, labels string) (float64, bool) {
 	key := name
 	if labels != "" {
 		key = name + labelSep + labels
 	}
 	gauges.mu.RLock()
-	defer gauges.mu.RUnlock()
 	g := gauges.m[key]
-	if g == nil {
+	gauges.mu.RUnlock()
+	if g != nil {
+		return g.load(), true
+	}
+	gaugeFuncs.mu.RLock()
+	e, ok := gaugeFuncs.m[key]
+	gaugeFuncs.mu.RUnlock()
+	if !ok {
 		return 0, false
 	}
-	return g.load(), true
+	return e.f(), true
 }
 
-// gaugeSnapshot returns the registered gauges as sorted (key, value) pairs
-// for the exposition writer.
+// gaugeFuncs holds callback gauges: values computed at read time (queue
+// depths, in-flight counts, imbalance ratios) instead of stored. Each entry
+// carries a registration token so a stale unregister cannot remove a newer
+// registration under the same key.
+var gaugeFuncs struct {
+	mu  sync.RWMutex
+	seq uint64
+	m   map[string]gaugeFuncEntry
+}
+
+type gaugeFuncEntry struct {
+	f   func() float64
+	tok uint64
+}
+
+// RegisterGaugeFunc registers f as a callback gauge under (name, labels),
+// replacing any previous registration under the same key — subsystems that
+// rebuild (a re-created shard index reusing its collection label) get
+// last-writer-wins semantics. The returned unregister removes exactly this
+// registration and is safe to call after a replacement. f must be safe for
+// concurrent use and must not block: it runs inline in /metrics scrapes,
+// timeline ticks and health checks.
+func RegisterGaugeFunc(name, labels string, f func() float64) (unregister func()) {
+	key := name
+	if labels != "" {
+		key = name + labelSep + labels
+	}
+	gaugeFuncs.mu.Lock()
+	if gaugeFuncs.m == nil {
+		gaugeFuncs.m = make(map[string]gaugeFuncEntry)
+	}
+	gaugeFuncs.seq++
+	tok := gaugeFuncs.seq
+	gaugeFuncs.m[key] = gaugeFuncEntry{f: f, tok: tok}
+	gaugeFuncs.mu.Unlock()
+	return func() {
+		gaugeFuncs.mu.Lock()
+		if e, ok := gaugeFuncs.m[key]; ok && e.tok == tok {
+			delete(gaugeFuncs.m, key)
+		}
+		gaugeFuncs.mu.Unlock()
+	}
+}
+
+// gaugeSnapshot returns the registered gauges — stored and callback — as
+// sorted (key, value) pairs for the exposition writer. A stored gauge and a
+// callback under the same key resolve to the stored value.
 func gaugeSnapshot() (keys []string, vals []float64) {
 	gauges.mu.RLock()
-	defer gauges.mu.RUnlock()
-	keys = make([]string, 0, len(gauges.m))
-	for key := range gauges.m {
+	stored := make(map[string]float64, len(gauges.m))
+	for key, g := range gauges.m {
+		stored[key] = g.load()
+	}
+	gauges.mu.RUnlock()
+	gaugeFuncs.mu.RLock()
+	funcs := make(map[string]func() float64, len(gaugeFuncs.m))
+	for key, e := range gaugeFuncs.m {
+		funcs[key] = e.f
+	}
+	gaugeFuncs.mu.RUnlock()
+
+	keys = make([]string, 0, len(stored)+len(funcs))
+	for key := range stored {
 		keys = append(keys, key)
+	}
+	for key := range funcs {
+		if _, dup := stored[key]; !dup {
+			keys = append(keys, key)
+		}
 	}
 	sort.Strings(keys)
 	vals = make([]float64, len(keys))
 	for i, key := range keys {
-		vals[i] = gauges.m[key].load()
+		if v, ok := stored[key]; ok {
+			vals[i] = v
+			continue
+		}
+		vals[i] = funcs[key]()
 	}
 	return keys, vals
 }

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// The /debug/health verdict (ISSUE 9): a structured ok/degraded/unhealthy
+// reading computed from the windowed telemetry — windowed p99 latency,
+// windowed error rate, and queue saturation — against operator-set
+// thresholds. Each enabled check compares its current value to its
+// threshold: under it the check is ok, over it degraded, over twice it
+// unhealthy; the verdict is the worst check, with one reason string per
+// non-ok check. A check with no data (no traffic in the window, no gauge
+// registered) is ok — an idle server is a healthy server.
+
+// HealthConfig sets the thresholds the verdict is computed from. The zero
+// value disables every check, so Health() reports ok until a server opts
+// in (SetHealthConfig).
+type HealthConfig struct {
+	// LatencyFamily is the histogram family whose windowed p99 the latency
+	// check reads (merged across labels), e.g. "server.request_latency" or
+	// "knn.search_latency". Empty disables the latency check.
+	LatencyFamily string
+	// LatencyP99Max is the windowed-p99 degraded threshold; ≤ 0 disables.
+	LatencyP99Max time.Duration
+	// ErrorRateMax is the degraded threshold for the windowed ratio of 5xx
+	// responses among ErrorFamily counters; ≤ 0 disables.
+	ErrorRateMax float64
+	// ErrorFamily is the labeled counter family error rate is computed
+	// over, matching instances by a code="5xx" label. Empty selects
+	// "server.requests_total".
+	ErrorFamily string
+	// QueueSaturationMax is the degraded threshold for engine queue
+	// saturation (queue depth ÷ queue capacity, summed over live engine
+	// pools); ≤ 0 disables.
+	QueueSaturationMax float64
+}
+
+var healthCfg struct {
+	mu  sync.RWMutex
+	cfg HealthConfig
+}
+
+// SetHealthConfig installs the thresholds /debug/health (and the server's
+// /readyz degraded report) computes against.
+func SetHealthConfig(cfg HealthConfig) {
+	if cfg.ErrorFamily == "" {
+		cfg.ErrorFamily = "server.requests_total"
+	}
+	healthCfg.mu.Lock()
+	healthCfg.cfg = cfg
+	healthCfg.mu.Unlock()
+}
+
+// HealthConfigured returns the installed thresholds.
+func HealthConfigured() HealthConfig {
+	healthCfg.mu.RLock()
+	defer healthCfg.mu.RUnlock()
+	return healthCfg.cfg
+}
+
+// Health statuses, ordered by severity.
+const (
+	HealthOK        = "ok"
+	HealthDegraded  = "degraded"
+	HealthUnhealthy = "unhealthy"
+)
+
+// HealthCheck is one threshold comparison inside a verdict.
+type HealthCheck struct {
+	Name      string  `json:"name"`
+	Status    string  `json:"status"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	// Detail spells the comparison out for humans ("windowed p99 12ms,
+	// threshold 250ms over 60s window").
+	Detail string `json:"detail"`
+}
+
+// HealthVerdict is the structured /debug/health answer.
+type HealthVerdict struct {
+	Status     string        `json:"status"`
+	WhenUnixNs int64         `json:"when_unix_ns"`
+	When       string        `json:"when"`
+	Reasons    []string      `json:"reasons"`
+	Checks     []HealthCheck `json:"checks"`
+}
+
+// grade maps a value against its degraded threshold: ok under it,
+// degraded over it, unhealthy over twice it.
+func grade(v, threshold float64) string {
+	switch {
+	case v > 2*threshold:
+		return HealthUnhealthy
+	case v > threshold:
+		return HealthDegraded
+	}
+	return HealthOK
+}
+
+func worse(a, b string) string {
+	rank := map[string]int{HealthOK: 0, HealthDegraded: 1, HealthUnhealthy: 2}
+	if rank[b] > rank[a] {
+		return b
+	}
+	return a
+}
+
+// Health computes the current verdict from the installed thresholds and
+// the live windowed telemetry. Always safe to call; with no configuration
+// (or no enabled checks) it reports ok with an empty check list.
+func Health() HealthVerdict {
+	cfg := HealthConfigured()
+	now := time.Now()
+	v := HealthVerdict{
+		Status:     HealthOK,
+		WhenUnixNs: now.UnixNano(),
+		When:       now.Format(time.RFC3339Nano),
+		Reasons:    []string{},
+		Checks:     []HealthCheck{},
+	}
+	addCheck := func(c HealthCheck, reason string) {
+		v.Checks = append(v.Checks, c)
+		v.Status = worse(v.Status, c.Status)
+		if c.Status != HealthOK {
+			v.Reasons = append(v.Reasons, reason)
+		}
+	}
+
+	if cfg.LatencyFamily != "" && cfg.LatencyP99Max > 0 {
+		snap := MergedWindow(cfg.LatencyFamily)
+		c := HealthCheck{
+			Name:      "windowed_p99_latency",
+			Status:    HealthOK,
+			Threshold: float64(cfg.LatencyP99Max.Nanoseconds()),
+		}
+		if snap.Count > 0 {
+			c.Value = snap.Quantile(0.99)
+			c.Status = grade(c.Value, c.Threshold)
+			c.Detail = cfg.LatencyFamily + " windowed p99 " +
+				time.Duration(c.Value).String() + ", threshold " + cfg.LatencyP99Max.String()
+		} else {
+			c.Detail = cfg.LatencyFamily + ": no samples in window"
+		}
+		addCheck(c, c.Detail)
+	}
+
+	if cfg.ErrorRateMax > 0 {
+		var errRate, totalRate float64
+		for key, rate := range Rates.RatesPerSec() {
+			name, labels := splitLabeled(key)
+			if name != cfg.ErrorFamily {
+				continue
+			}
+			totalRate += rate
+			if strings.Contains(labels, `code="5`) {
+				errRate += rate
+			}
+		}
+		c := HealthCheck{Name: "windowed_error_rate", Status: HealthOK, Threshold: cfg.ErrorRateMax}
+		if totalRate > 0 {
+			c.Value = errRate / totalRate
+			c.Status = grade(c.Value, c.Threshold)
+			c.Detail = "5xx fraction of " + cfg.ErrorFamily + " over window"
+		} else {
+			c.Detail = cfg.ErrorFamily + ": no requests in window"
+		}
+		addCheck(c, c.Detail)
+	}
+
+	if cfg.QueueSaturationMax > 0 {
+		depth, okD := GaugeValue("engine.queue_depth", "")
+		capacity, okC := GaugeValue("engine.queue_capacity", "")
+		c := HealthCheck{Name: "engine_queue_saturation", Status: HealthOK, Threshold: cfg.QueueSaturationMax}
+		if okD && okC && capacity > 0 {
+			c.Value = depth / capacity
+			c.Status = grade(c.Value, c.Threshold)
+			c.Detail = "engine queue depth over capacity"
+		} else {
+			c.Detail = "no engine pools registered"
+		}
+		addCheck(c, c.Detail)
+	}
+
+	return v
+}

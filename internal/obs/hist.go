@@ -82,6 +82,9 @@ type Histogram struct {
 	name   string
 	labels string // Prometheus label pairs, e.g. `substrate="sstree",algo="DF"`; may be empty
 	shards [histShards]histShard
+	// win is the sliding-window side (ISSUE 9): WinSlots rotating time
+	// shards over the same bucket layout, fed by the same record call.
+	win histWindow
 }
 
 // Name returns the registered histogram name.
@@ -104,10 +107,12 @@ func (h *Histogram) Record(v int64) {
 // from NextShard once and pass it here, giving true per-goroutine striping.
 func (h *Histogram) RecordShard(shard int, v int64) {
 	s := &h.shards[shard&histShardMask]
-	s.counts[histIndex(v)].Add(1)
+	i := histIndex(v)
+	s.counts[i].Add(1)
 	if v > 0 {
 		s.sum.Add(uint64(v))
 	}
+	h.win.record(i, v)
 }
 
 // RecordDuration records d in nanoseconds.
@@ -130,6 +135,7 @@ func (h *Histogram) reset() {
 		}
 		sh.sum.Store(0)
 	}
+	h.win.reset()
 }
 
 // HistSnap is a merged point-in-time reading of a histogram: the summed
@@ -342,6 +348,7 @@ func ResetForTest() {
 	histRegistry.mu.RUnlock()
 	Flight.Reset()
 	Requests.Reset()
+	Rates.Reset()
 	gauges.mu.RLock()
 	for _, g := range gauges.m {
 		g.store(0)

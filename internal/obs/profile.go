@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"syscall"
+	"time"
 )
 
 // StartCPUProfile starts a CPU profile into path and returns the function
@@ -62,13 +63,14 @@ func Serve(addr string) (string, error) {
 // ProfileFlags is the shared -serve/-pprof/-cpuprofile/-memprofile/-metrics/
 // -trace flag set of the benchmark commands.
 type ProfileFlags struct {
-	CPUProfile string
-	MemProfile string
-	PprofAddr  string
-	ServeAddr  string
-	Metrics    bool
-	TracePath  string
-	TraceEvery int
+	CPUProfile     string
+	MemProfile     string
+	PprofAddr      string
+	ServeAddr      string
+	Metrics        bool
+	TracePath      string
+	TraceEvery     int
+	TimelinePeriod time.Duration
 
 	boundServe string // the address -serve actually bound (ephemeral ports)
 }
@@ -88,6 +90,8 @@ func RegisterFlags(fs *flag.FlagSet) *ProfileFlags {
 		"export the retained per-query execution traces as Chrome trace_event JSON to `file` on exit (open in chrome://tracing or ui.perfetto.dev)")
 	fs.IntVar(&pf.TraceEvery, "trace-every", 16,
 		"with -trace or -serve, sample every Nth search for execution tracing")
+	fs.DurationVar(&pf.TimelinePeriod, "timeline-period", DefaultTimelinePeriod,
+		"with -serve, telemetry timeline tick (window rotation) period")
 	return pf
 }
 
@@ -137,6 +141,14 @@ func (pf *ProfileFlags) Start() (stop func(), err error) {
 			return nil, err
 		}
 		pf.boundServe = addr
+		// A served bench process is a live server: run the timeline ticker so
+		// /debug/timeline, the _1m windowed families and /debug/health have
+		// data while the operator pokes at it.
+		period := pf.TimelinePeriod
+		if period <= 0 {
+			period = DefaultTimelinePeriod
+		}
+		StartTimeline(period, DefaultTimelineSlots)
 		fmt.Fprintf(os.Stderr, "obs: serving metrics on http://%s/metrics\n", addr)
 	}
 	return func() {

@@ -70,15 +70,19 @@ type MergeSpan struct {
 // RequestTrace is one served request's full trace tree. Instances are
 // immutable once recorded; the ring and exporters share them by pointer.
 type RequestTrace struct {
-	RequestID  string      `json:"request_id"`
-	Collection string      `json:"collection"`
-	Endpoint   string      `json:"endpoint"`
-	Status     int         `json:"status"`
-	K          int         `json:"k"`
-	WhenUnixNs int64       `json:"when_unix_ns"`
-	LatencyNs  int64       `json:"latency_ns"`
-	Shards     []ShardSpan `json:"shards"`
-	Merge      MergeSpan   `json:"merge"`
+	RequestID  string `json:"request_id"`
+	Collection string `json:"collection"`
+	Endpoint   string `json:"endpoint"`
+	Status     int    `json:"status"`
+	K          int    `json:"k"`
+	WhenUnixNs int64  `json:"when_unix_ns"`
+	// When is WhenUnixNs as RFC3339Nano wall-clock text, so a
+	// /debug/requests entry lines up with access-log lines and timeline
+	// snapshots without epoch arithmetic (ISSUE 9).
+	When      string      `json:"when"`
+	LatencyNs int64       `json:"latency_ns"`
+	Shards    []ShardSpan `json:"shards"`
+	Merge     MergeSpan   `json:"merge"`
 }
 
 // RequestSlots is the request ring capacity.

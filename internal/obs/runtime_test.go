@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSampleRuntime checks the runtime/metrics sample reads live values.
+func TestSampleRuntime(t *testing.T) {
+	rs := SampleRuntime()
+	if rs.Goroutines <= 0 {
+		t.Errorf("Goroutines = %d, want > 0", rs.Goroutines)
+	}
+	if rs.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("GOMAXPROCS = %d, want %d", rs.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+	if rs.HeapBytes == 0 {
+		t.Errorf("HeapBytes = %d, want > 0", rs.HeapBytes)
+	}
+	if rs.HeapObjects == 0 {
+		t.Errorf("HeapObjects = %d, want > 0", rs.HeapObjects)
+	}
+	// Force a GC so cycle counts and pause quantiles have data, then
+	// re-sample: the counters must be monotone and the pause quantiles
+	// ordered.
+	runtime.GC()
+	rs2 := SampleRuntime()
+	if rs2.GCCycles < rs.GCCycles || rs2.GCCycles == 0 {
+		t.Errorf("GCCycles went %d -> %d, want monotone and > 0 after runtime.GC", rs.GCCycles, rs2.GCCycles)
+	}
+	if rs2.GCPauseP99Ns < rs2.GCPauseP50Ns {
+		t.Errorf("GC pause p99 %v < p50 %v", rs2.GCPauseP99Ns, rs2.GCPauseP50Ns)
+	}
+	if rs2.GCPauseP50Ns < 0 || rs2.SchedLatP99Ns < 0 {
+		t.Errorf("negative quantiles: %+v", rs2)
+	}
+}
+
+// TestPublishRuntimeGauges checks the hyperdom_runtime_* gauges appear in
+// the gauge table after a publish.
+func TestPublishRuntimeGauges(t *testing.T) {
+	PublishRuntimeGauges(SampleRuntime())
+	for _, name := range []string{
+		"runtime.goroutines", "runtime.gomaxprocs", "runtime.heap_bytes",
+		"runtime.heap_objects", "runtime.gc_cycles", "runtime.gc_pause_p99_ns",
+		"runtime.sched_latency_p99_ns",
+	} {
+		if _, ok := GaugeValue(name, ""); !ok {
+			t.Errorf("gauge %s not published", name)
+		}
+	}
+	if v, _ := GaugeValue("runtime.goroutines", ""); v <= 0 {
+		t.Errorf("runtime.goroutines = %v, want > 0", v)
+	}
+}

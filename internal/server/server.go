@@ -45,7 +45,19 @@ import (
 var (
 	obsRequests    = obs.New("server.requests")
 	obsBadRequests = obs.New("server.bad_requests")
+
+	// inflight counts /v1 requests currently inside a handler, exposed as
+	// the hyperdom_server_inflight_requests saturation gauge (ISSUE 9).
+	// Process-wide rather than per-Server: the gauge answers "how loaded is
+	// this process", and test servers coexisting briefly only ever add.
+	inflight atomic.Int64
 )
+
+func init() {
+	obs.RegisterGaugeFunc("server.inflight_requests", "", func() float64 {
+		return float64(inflight.Load())
+	})
+}
 
 // maxBodyBytes bounds request bodies: generous for high-dimensional
 // centers, far below anything that could balloon the process.
@@ -162,7 +174,17 @@ func (s *Server) Handler() http.Handler {
 			fmt.Fprintln(w, "not ready")
 			return
 		}
+		// Ready stays 200 even under degraded health — the server answers
+		// queries, just not at its thresholds; orchestrators that want to
+		// shed traffic act on the reported status (or on /debug/health,
+		// which turns 503 when unhealthy).
 		fmt.Fprintln(w, "ready")
+		if hv := obs.Health(); hv.Status != obs.HealthOK {
+			fmt.Fprintf(w, "health: %s\n", hv.Status)
+			for _, reason := range hv.Reasons {
+				fmt.Fprintf(w, "  - %s\n", reason)
+			}
+		}
 	})
 	mux.Handle("/metrics", obs.Handler())
 	mux.Handle("/debug/", obs.Handler())
@@ -226,8 +248,10 @@ func (s *Server) wrap(endpoint string, h func(*reqCtx, *http.Request)) http.Hand
 		id := s.requestID(r)
 		w.Header().Set("X-Request-ID", id)
 		c := &reqCtx{ResponseWriter: w, id: id, collection: r.PathValue("name")}
+		inflight.Add(1)
 		start := time.Now()
 		h(c, r)
+		inflight.Add(-1)
 		if c.status == 0 {
 			c.status = http.StatusOK
 		}
@@ -251,6 +275,7 @@ func (s *Server) wrap(endpoint string, h func(*reqCtx, *http.Request)) http.Hand
 				Status:     c.status,
 				K:          c.k,
 				WhenUnixNs: start.UnixNano(),
+				When:       start.Format(time.RFC3339Nano),
 				LatencyNs:  lat.Nanoseconds(),
 				Shards:     c.explain.Shards,
 				Merge:      c.explain.Merge,

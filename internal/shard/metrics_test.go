@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperdom/internal/obs"
+)
+
+// TestCandidateImbalanceGauge pins the per-collection scatter gauge
+// (ISSUE 9): registered at Build under the collection label, fed by the
+// gather loop, unregistered at Close — and last-writer-wins when an index
+// is rebuilt under the same label.
+func TestCandidateImbalanceGauge(t *testing.T) {
+	rng := rand.New(rand.NewSource(907))
+	const d, n = 3, 600
+	items := randItems(rng, d, n, 2)
+	x, err := Build(items, d, Options{Shards: 3, Label: "imbalance-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	label := `collection="imbalance-test"`
+	v, ok := obs.GaugeValue("shard.candidate_imbalance", label)
+	if !ok {
+		t.Fatal("gauge not registered after Build")
+	}
+	if v != 0 {
+		t.Errorf("imbalance = %v before any query, want 0", v)
+	}
+
+	for i := 0; i < 20; i++ {
+		x.Search(randQuery(rng, d, 2), 5)
+	}
+	v, ok = obs.GaugeValue("shard.candidate_imbalance", label)
+	if !ok {
+		t.Fatal("gauge lost after queries")
+	}
+	// max/mean of per-shard cumulative candidate counts: ≥ 1 whenever any
+	// shard produced candidates (max ≥ mean by construction).
+	if v < 1 {
+		t.Errorf("imbalance = %v after queries, want ≥ 1", v)
+	}
+
+	// Rebuilding under the same label replaces the registration; closing
+	// the OLD index afterwards must not remove the new one (token-guarded
+	// unregister).
+	y, err := Build(items, d, Options{Shards: 2, Label: "imbalance-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.Close()
+	if v, ok := obs.GaugeValue("shard.candidate_imbalance", label); !ok {
+		t.Error("gauge vanished when the replaced index closed")
+	} else if v != 0 {
+		t.Errorf("fresh index imbalance = %v, want 0", v)
+	}
+
+	y.Close()
+	if _, ok := obs.GaugeValue("shard.candidate_imbalance", label); ok {
+		t.Error("gauge still registered after the live index closed")
+	}
+}

@@ -118,6 +118,7 @@ func (x *Index) search(sq geom.Sphere, k int, ex *Explain) knn.Result {
 	for range x.shards {
 		a := <-ch
 		sets[a.i] = a.cs
+		x.scatterCands[a.i].Add(uint64(len(a.cs.Candidates)))
 		addStats(&res.Stats, &a.cs.Stats)
 		if ext != nil {
 			for _, c := range a.cs.Candidates {

@@ -31,6 +31,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"sync/atomic"
 
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/engine"
@@ -121,6 +122,15 @@ type Index struct {
 	// Per-collection latency families, resolved once at build.
 	histSearch *obs.Histogram
 	histMerge  *obs.Histogram
+
+	// scatterCands tallies, per shard, the candidates its streams have
+	// contributed since build (one atomic add per shard per query, in the
+	// gather loop). The shard.candidate_imbalance{collection=...} callback
+	// gauge reads them: max over mean of the per-shard totals, 1.0 when the
+	// partitioning spreads query load evenly, growing as one shard turns
+	// hot. 0 before any query.
+	scatterCands   []atomic.Uint64
+	unregisterImbl func()
 }
 
 // Build partitions items into opts.Shards space-partitioned shards and
@@ -162,11 +172,37 @@ func Build(items []geom.Item, dim int, opts Options) (*Index, error) {
 				engine.WithAlgorithm(opts.Algorithm)),
 		}
 	}
+	x.scatterCands = make([]atomic.Uint64, len(x.shards))
+	x.unregisterImbl = obs.RegisterGaugeFunc("shard.candidate_imbalance",
+		`collection="`+opts.Label+`"`, x.candidateImbalance)
 	if obs.On() {
 		obsIndexes.Inc()
 		obsShards.Add(uint64(len(parts)))
 	}
 	return x, nil
+}
+
+// candidateImbalance is the shard.candidate_imbalance callback: the
+// busiest shard's cumulative candidate contribution over the per-shard
+// mean. 1.0 means perfectly balanced scatter traffic; k·N/total shards
+// pathological. 0 before the first query.
+func (x *Index) candidateImbalance() float64 {
+	if len(x.scatterCands) == 0 {
+		return 0
+	}
+	var max, total uint64
+	for i := range x.scatterCands {
+		c := x.scatterCands[i].Load()
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(x.scatterCands))
+	return float64(max) / mean
 }
 
 // buildTree constructs, fills and freezes one shard's substrate. Empty
@@ -242,6 +278,10 @@ func (x *Index) ShardSizes() []int {
 
 // Close stops every shard's worker pool. Safe to call more than once.
 func (x *Index) Close() {
+	if x.unregisterImbl != nil {
+		x.unregisterImbl()
+		x.unregisterImbl = nil
+	}
 	for i := range x.shards {
 		x.shards[i].eng.Close()
 	}
