@@ -42,13 +42,14 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzzing passes over the five fuzz targets.
+# Short fuzzing passes over the six fuzz targets.
 fuzz:
 	$(GO) test ./internal/poly -fuzz FuzzQuartic -fuzztime 30s
 	$(GO) test ./internal/dominance -fuzz FuzzHyperbolaVsExact2D -fuzztime 30s
 	$(GO) test ./internal/sstree -fuzz FuzzTreeOps -fuzztime 30s
 	$(GO) test ./internal/packed -fuzz FuzzPackedMinDist -fuzztime 30s
 	$(GO) test ./internal/packed -fuzz FuzzQuantizedLowerBound -fuzztime 30s
+	$(GO) test ./internal/packed -fuzz FuzzSnapshotOpen -fuzztime 30s
 
 # Batch-engine worker scaling over a frozen SS-tree: queries/s at pool
 # widths 1/2/4/8 (scaling tops out at GOMAXPROCS).

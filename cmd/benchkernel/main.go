@@ -9,6 +9,9 @@
 //     per search and the packed/pointer speedup ratio;
 //   - tree construction cost: bulk load versus repeated insert, in
 //     nanoseconds per item;
+//   - snapshot cold-start: packed.Open over a saved 100k-item snapshot
+//     (open + validate, zero-copy) versus a BulkLoad+Freeze rebuild, the
+//     ratio -min-snapshot-speedup gates;
 //   - batch-query throughput through the engine worker pool at 1/2/4/8
 //     workers, with the scaling ratio relative to one worker;
 //   - a metrics block captured from the obs registry: prune rates,
@@ -24,7 +27,8 @@
 //	benchkernel [-o BENCH_knn.json] [-quant none|f32|i8]
 //	benchkernel -gate BENCH_knn.json -min-speedup 1.3 \
 //	            -min-packed-speedup 1.15 -min-quant-speedup 1.4 \
-//	            -min-sphere-speedup 1.5 -min-scaling 2.5     # CI sanity gate
+//	            -min-sphere-speedup 1.5 -min-snapshot-speedup 20 \
+//	            -min-scaling 2.5                             # CI sanity gate
 //	benchkernel -trace trace.json                           # export query traces
 //
 // The packed search is benchmarked four ways: pointer path, frozen
@@ -54,6 +58,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -63,6 +68,7 @@ import (
 	"hyperdom/internal/geom"
 	"hyperdom/internal/knn"
 	"hyperdom/internal/obs"
+	"hyperdom/internal/packed"
 	"hyperdom/internal/shard"
 	"hyperdom/internal/sstree"
 	"hyperdom/internal/workload"
@@ -110,6 +116,23 @@ type quantBlock struct {
 	GeomeanI8  float64 `json:"geomean_i8"`
 	Best       float64 `json:"best"`
 	BestTier   string  `json:"best_tier"`
+}
+
+// snapshotLoadBlock is the zero-copy persistence headline (ISSUE 10): the
+// same 100k-item frozen index brought to serving two ways — packed.Open
+// over a saved snapshot file (header validate + structural checks + slice
+// the mapping; no tree rebuild) versus rebuilding from the raw items with
+// BulkLoad+Freeze. Speedup is rebuild/open per item; -min-snapshot-speedup
+// gates it. HeapBytesAfterOpen shows what the open path actually allocates
+// (the item directory and headers — the payload stays in the page cache).
+type snapshotLoadBlock struct {
+	Items              int     `json:"items"`
+	FileBytes          int64   `json:"file_bytes"`
+	Mapped             bool    `json:"mapped"`
+	OpenNsPerItem      float64 `json:"open_ns_per_item"`
+	RebuildNsPerItem   float64 `json:"rebuild_ns_per_item"`
+	HeapBytesAfterOpen uint64  `json:"heap_bytes_after_open"`
+	Speedup            float64 `json:"speedup_vs_rebuild"`
 }
 
 // scalingPoint is one engine throughput measurement: a fixed query batch
@@ -179,6 +202,7 @@ type report struct {
 	BuildInsertNs     float64           `json:"build_insert_ns_per_item"`
 	BuildBulkNs       float64           `json:"build_bulkload_ns_per_item"`
 	BuildBulkSpeedup  float64           `json:"build_bulkload_speedup"`
+	SnapshotLoad      snapshotLoadBlock `json:"snapshot_load"`
 	Throughput        throughputBlock   `json:"throughput_scaling"`
 	ShardScaling      shardScalingBlock `json:"shard_scaling"`
 	SpeedupTargetMet  bool              `json:"speedup_target_met"` // point-query ratio >= 1.5
@@ -193,6 +217,7 @@ type config struct {
 	MinPackedSpeedup float64
 	MinQuantSpeedup  float64
 	MinSphereSpeedup float64
+	MinSnapSpeedup   float64
 	MinScaling       float64
 	ScalingOnly      bool
 	RequireCores     int
@@ -210,6 +235,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.Float64Var(&cfg.MinPackedSpeedup, "min-packed-speedup", 1.15, "minimum packed-layout (quantization off) search speedup the gate accepts")
 	fs.Float64Var(&cfg.MinQuantSpeedup, "min-quant-speedup", 1.4, "minimum quantized-tier search speedup over the pointer path the gate accepts (best tier geomean)")
 	fs.Float64Var(&cfg.MinSphereSpeedup, "min-sphere-speedup", 1.5, "minimum prepared sphere-query speedup the gate accepts")
+	fs.Float64Var(&cfg.MinSnapSpeedup, "min-snapshot-speedup", 20, "minimum snapshot open-vs-rebuild speedup the gate accepts (<= 0 skips)")
 	fs.Float64Var(&cfg.MinScaling, "min-scaling", 2.5, "minimum 8-worker throughput scaling the gate accepts on an 8-core runner (floor adapts down to min(value, 0.45*GOMAXPROCS), never below 0.8; <= 0 skips the scaling gate entirely)")
 	fs.BoolVar(&cfg.ScalingOnly, "scaling-only", false, "measure (and gate) only the throughput_scaling and shard_scaling blocks — the dedicated multi-core CI job's mode")
 	fs.IntVar(&cfg.RequireCores, "require-cores", 0, "gate mode: fail unless the measurement ran with at least this many schedulable cores (guards the scaling gate against silently passing on undersized runners)")
@@ -255,10 +281,11 @@ func main() {
 			maxShards(rep.ShardScaling), rep.Throughput.GoMaxProcs,
 			rep.Throughput.CoresDetected, rep.Throughput.Gated)
 	} else {
-		fmt.Printf("wrote %s (prepared point-query speedup %.2fx, sphere-query %.2fx; packed-layout speedup DF=%.2fx HS=%.2fx; quantized f32=%.2fx i8=%.2fx best=%s; coarse-prune rate %.2f; 8-worker scaling %.2fx on %d core(s); shard scaling %.2fx; knn allocs/search DF=%d HS=%d; prune rate %.2f; search p50=%.0fns p99=%.0fns)\n",
+		fmt.Printf("wrote %s (prepared point-query speedup %.2fx, sphere-query %.2fx; packed-layout speedup DF=%.2fx HS=%.2fx; quantized f32=%.2fx i8=%.2fx best=%s; coarse-prune rate %.2f; snapshot open %.2fx over rebuild (%.1f vs %.1f ns/item, mapped=%v); 8-worker scaling %.2fx on %d core(s); shard scaling %.2fx; knn allocs/search DF=%d HS=%d; prune rate %.2f; search p50=%.0fns p99=%.0fns)\n",
 			cfg.Out, rep.SpeedupPointQ, rep.SpeedupSphereQ, rep.SpeedupPackedDF, rep.SpeedupPackedHS,
 			rep.SpeedupQuantized.GeomeanF32, rep.SpeedupQuantized.GeomeanI8, rep.SpeedupQuantized.BestTier,
 			rep.Metrics.CoarsePruneRate,
+			rep.SnapshotLoad.Speedup, rep.SnapshotLoad.OpenNsPerItem, rep.SnapshotLoad.RebuildNsPerItem, rep.SnapshotLoad.Mapped,
 			rep.Throughput.ScalingAtMax, rep.Throughput.GoMaxProcs, rep.ShardScaling.ScalingAtMax,
 			rep.KnnAllocsDF, rep.KnnAllocsHS,
 			rep.Metrics.PruneRate, rep.Metrics.SearchLatencyP50Ns, rep.Metrics.SearchLatencyP99Ns)
@@ -417,6 +444,7 @@ func buildReport(cfg *config) report {
 	}
 
 	rep.BuildInsertNs, rep.BuildBulkNs, rep.BuildBulkSpeedup = buildCost(&rep)
+	rep.SnapshotLoad = measureSnapshotLoad(&rep)
 	rep.Throughput = measureScaling(&rep, idx, queries, rep.KnnK)
 	rep.ShardScaling = measureShardScaling(&rep, items, 8, queries, rep.KnnK)
 
@@ -459,6 +487,74 @@ func buildCost(rep *report) (insertNs, bulkNs, speedup float64) {
 	})
 	n := float64(len(items))
 	return ins.NsPerOp / n, bulk.NsPerOp / n, ratio(ins, bulk)
+}
+
+// measureSnapshotLoad builds the 100k-item snapshot fixture, saves it
+// once, and times the two cold-start paths: packed.Open over the file
+// (open + validate, zero-copy on platforms with mmap) against a full
+// BulkLoad+Freeze rebuild from the raw items. Also records the file size,
+// whether the open actually mapped, and the heap the open path retains.
+func measureSnapshotLoad(rep *report) snapshotLoadBlock {
+	const n, d = 100000, 8
+	rng := rand.New(rand.NewSource(4242))
+	items := make([]geom.Item, n)
+	for i := range items {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = 100 + rng.NormFloat64()*25
+		}
+		items[i] = geom.Item{ID: i, Sphere: geom.NewSphere(c, rng.Float64()*2)}
+	}
+	dir, err := os.MkdirTemp("", "hdsnapbench")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bench.hds")
+	t := sstree.New(d)
+	t.BulkLoad(items)
+	if err := t.Freeze().Save(path); err != nil {
+		panic(err)
+	}
+	blk := snapshotLoadBlock{Items: n}
+	if fi, err := os.Stat(path); err == nil {
+		blk.FileBytes = fi.Size()
+	}
+
+	rebuild := run("SnapshotLoad/SS100k/RebuildBulkFreeze", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tt := sstree.New(d)
+			tt.BulkLoad(items)
+			tt.Freeze()
+		}
+	})
+	open := run("SnapshotLoad/SS100k/Open", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := packed.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Close()
+		}
+	})
+	blk.OpenNsPerItem = open.NsPerOp / n
+	blk.RebuildNsPerItem = rebuild.NsPerOp / n
+	blk.Speedup = ratio(rebuild, open)
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	s, err := packed.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	runtime.ReadMemStats(&after)
+	blk.Mapped = s.Mapped()
+	if after.HeapAlloc > before.HeapAlloc {
+		blk.HeapBytesAfterOpen = after.HeapAlloc - before.HeapAlloc
+	}
+	s.Close()
+	return blk
 }
 
 // measureScaling drives the same query batch through engine pools of
@@ -668,6 +764,12 @@ func gateReport(current, committed report, cfg *config) []string {
 		if current.SpeedupSphereQ < cfg.MinSphereSpeedup {
 			failures = append(failures, fmt.Sprintf(
 				"prepared sphere-query speedup %.2fx below floor %.2fx", current.SpeedupSphereQ, cfg.MinSphereSpeedup))
+		}
+		if cfg.MinSnapSpeedup > 0 && current.SnapshotLoad.Speedup < cfg.MinSnapSpeedup {
+			failures = append(failures, fmt.Sprintf(
+				"snapshot open-vs-rebuild speedup %.2fx below floor %.2fx (open %.1f ns/item, rebuild %.1f ns/item)",
+				current.SnapshotLoad.Speedup, cfg.MinSnapSpeedup,
+				current.SnapshotLoad.OpenNsPerItem, current.SnapshotLoad.RebuildNsPerItem))
 		}
 	}
 	// A pool of 8 workers cannot scale past the cores it runs on, so the

@@ -13,6 +13,14 @@
 //	-mu       average radius μ; radii ~ N(μ, μ/4) clamped at 0 (default 50)
 //	-seed     RNG seed (default 1)
 //	-o        output file (default stdout)
+//
+// With -freeze DIR the dataset is additionally built into a sharded index
+// and persisted as a packed snapshot directory (shard-NNNN.hds files plus
+// manifest.json) that hyperdomd -snapshot-dir and knnbench -load open
+// zero-copy — point hyperdomd's -snapshot-dir at DIR's parent, or name DIR
+// "<root>/default". -shards/-substrate/-maxfill shape the frozen index.
+// CSV floats round-trip exactly (strconv 'g' -1), so a snapshot frozen
+// here answers bit-identically to an index built from the written CSV.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"os"
 
 	"hyperdom/internal/dataset"
+	"hyperdom/internal/shard"
 )
 
 func main() {
@@ -32,6 +41,10 @@ func main() {
 	mu := flag.Float64("mu", 50, "average radius")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("o", "", "output file (default stdout)")
+	freeze := flag.String("freeze", "", "also build a sharded index and save it as a snapshot directory here")
+	shards := flag.Int("shards", 2, "freeze: shard count")
+	substrate := flag.String("substrate", "sstree", "freeze: index substrate (sstree|mtree|rtree)")
+	maxFill := flag.Int("maxfill", 0, "freeze: substrate node capacity (0 = default)")
 	flag.Parse()
 
 	ps, err := buildPointSet(*name, *n, *d, *dist, *seed)
@@ -40,21 +53,46 @@ func main() {
 	}
 	items := dataset.Spheres(ps, dataset.GaussianRadii(*mu), *seed+1)
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal("creating %s: %v", *out, err)
-		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal("closing %s: %v", *out, err)
+	// CSV goes to stdout only when no snapshot was asked for — a -freeze
+	// run without -o should not flood the terminal with the corpus.
+	if *out != "" || *freeze == "" {
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal("creating %s: %v", *out, err)
 			}
-		}()
-		w = f
+			defer func() {
+				if err := f.Close(); err != nil {
+					fatal("closing %s: %v", *out, err)
+				}
+			}()
+			w = f
+		}
+		if err := dataset.WriteCSV(w, items); err != nil {
+			fatal("writing: %v", err)
+		}
 	}
-	if err := dataset.WriteCSV(w, items); err != nil {
-		fatal("writing: %v", err)
+
+	if *freeze != "" {
+		if len(items) == 0 {
+			fatal("-freeze: empty dataset")
+		}
+		dim := len(items[0].Sphere.Center)
+		x, err := shard.Build(items, dim, shard.Options{
+			Shards:    *shards,
+			Substrate: *substrate,
+			MaxFill:   *maxFill,
+		})
+		if err != nil {
+			fatal("-freeze: %v", err)
+		}
+		defer x.Close()
+		if err := x.SaveDir(*freeze); err != nil {
+			fatal("-freeze: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "datagen: froze %d items (dim %d) into %s (%d shards, %s)\n",
+			x.Len(), dim, *freeze, x.Shards(), *substrate)
 	}
 }
 

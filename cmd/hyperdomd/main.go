@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"log/slog"
 	"math/rand"
@@ -27,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -58,6 +60,9 @@ type config struct {
 	quant       string
 	noPushdown  bool
 
+	snapshotDir    string
+	snapshotVerify bool
+
 	timelinePeriod time.Duration
 	timelineSlots  int
 	healthP99      time.Duration
@@ -86,6 +91,8 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&c.algo, "algo", "hs", "per-shard traversal: hs|df")
 	fs.StringVar(&c.quant, "quant", "f32", "coarse-filter tier: none|f32|i8")
 	fs.BoolVar(&c.noPushdown, "no-pushdown", false, "disable cross-shard distK pushdown")
+	fs.StringVar(&c.snapshotDir, "snapshot-dir", "", "snapshot root: each collection loads zero-copy from DIR/<name> when present and compatible, else builds and saves there for the next start")
+	fs.BoolVar(&c.snapshotVerify, "snapshot-verify", false, "checksum every snapshot section at load (trades the lazy mmap cold-start for eager corruption detection)")
 	fs.DurationVar(&c.timelinePeriod, "timeline-period", obs.DefaultTimelinePeriod, "telemetry timeline tick (window rotation) period")
 	fs.IntVar(&c.timelineSlots, "timeline-slots", obs.DefaultTimelineSlots, "telemetry timeline ring capacity (snapshots retained)")
 	fs.DurationVar(&c.healthP99, "health-p99", 250*time.Millisecond, "degraded when windowed request p99 exceeds this (0 disables)")
@@ -239,6 +246,52 @@ func buildCollection(c config, items []geom.Item, dim int, label string) (*shard
 	})
 }
 
+// mountCollection resolves one collection. With -snapshot-dir set it first
+// tries DIR/<name>: a present, compatible snapshot directory mmaps straight
+// into serving with no tree rebuild (the instant cold-start path). A
+// missing directory falls back to building from the corpus; an unusable one
+// (corrupt, version skew) is logged and rebuilt over. Whenever the
+// collection had to be built, the fresh index is saved back so the next
+// start takes the fast path. corpus is called only when a build is needed.
+func mountCollection(c config, name string, corpus func() ([]geom.Item, int, error)) (*shard.Index, error) {
+	if c.snapshotDir != "" {
+		dir := filepath.Join(c.snapshotDir, name)
+		start := time.Now()
+		x, err := shard.OpenDir(dir, shard.OpenOptions{
+			WorkersPerShard: c.workers,
+			Algorithm:       c.algorithm(),
+			DisablePushdown: c.noPushdown,
+			Label:           name,
+			Verify:          c.snapshotVerify,
+		})
+		if err == nil {
+			log.Printf("collection %s: loaded snapshot %s in %v (%d items, dim %d, %d shards)",
+				name, dir, time.Since(start).Round(time.Microsecond), x.Len(), x.Dim(), x.Shards())
+			return x, nil
+		}
+		if !errors.Is(err, fs.ErrNotExist) {
+			log.Printf("collection %s: snapshot %s unusable, rebuilding: %v", name, dir, err)
+		}
+	}
+	items, dim, err := corpus()
+	if err != nil {
+		return nil, err
+	}
+	x, err := buildCollection(c, items, dim, name)
+	if err != nil {
+		return nil, err
+	}
+	if c.snapshotDir != "" {
+		dir := filepath.Join(c.snapshotDir, name)
+		if err := x.SaveDir(dir); err != nil {
+			log.Printf("collection %s: snapshot save to %s failed: %v", name, dir, err)
+		} else {
+			log.Printf("collection %s: snapshot saved to %s", name, dir)
+		}
+	}
+	return x, nil
+}
+
 func run(c config) error {
 	obs.SetEnabled(true)
 	knn.SetQuantMode(c.quantMode())
@@ -277,16 +330,12 @@ func run(c config) error {
 	go func() { errc <- httpSrv.Serve(ln) }()
 	log.Printf("hyperdomd listening on %s (not ready)", ln.Addr())
 
-	var items []geom.Item
-	var dim int
-	if c.data != "" {
-		if items, dim, err = loadCorpus(c.data); err != nil {
-			return err
+	x, err := mountCollection(c, "default", func() ([]geom.Item, int, error) {
+		if c.data != "" {
+			return loadCorpus(c.data)
 		}
-	} else {
-		items, dim = syntheticCorpus(c.n, c.d, c.seed), c.d
-	}
-	x, err := buildCollection(c, items, dim, "default")
+		return syntheticCorpus(c.n, c.d, c.seed), c.d, nil
+	})
 	if err != nil {
 		return err
 	}
@@ -300,11 +349,10 @@ func run(c config) error {
 		return err
 	}
 	for _, nc := range extra {
-		items, dim, err := loadCorpus(nc[1])
-		if err != nil {
-			return err
-		}
-		x, err := buildCollection(c, items, dim, nc[0])
+		path := nc[1]
+		x, err := mountCollection(c, nc[0], func() ([]geom.Item, int, error) {
+			return loadCorpus(path)
+		})
 		if err != nil {
 			return err
 		}

@@ -22,6 +22,10 @@
 //	-shards   comma-separated shard counts; runs the scatter-gather
 //	          shard-scaling experiment (DESIGN.md §13) instead of the
 //	          figures and prints a queries/s table per count
+//	-load     open a snapshot directory written by datagen -freeze or
+//	          hyperdomd/shard SaveDir and benchmark serving straight off
+//	          the mmapped files (no tree rebuild) instead of the figures;
+//	          prints open latency and queries/s
 //
 // The shared observability flags apply as well; in particular
 // `-trace out.json` samples every `-trace-every`-th search (default 16,
@@ -34,14 +38,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"hyperdom/internal/dominance"
 	"hyperdom/internal/experiments"
+	"hyperdom/internal/geom"
 	"hyperdom/internal/knn"
 	"hyperdom/internal/obs"
+	"hyperdom/internal/shard"
 )
 
 func main() {
@@ -54,6 +62,8 @@ func main() {
 		"comma-separated engine pool widths (e.g. 1,2,4,8); runs the batch-engine scaling experiment instead of the figures")
 	shards := flag.String("shards", "",
 		"comma-separated shard counts (e.g. 1,2,4); runs the scatter-gather shard-scaling experiment instead of the figures")
+	load := flag.String("load", "",
+		"snapshot directory to open and benchmark (skips the figures and any index build)")
 	quant := flag.String("quant", "f32",
 		"quantized coarse-filter tier for frozen-snapshot searches (none, f32, i8)")
 	pf := obs.RegisterFlags(flag.CommandLine)
@@ -82,6 +92,13 @@ func main() {
 	defer stop()
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	if *load != "" {
+		if err := runLoaded(*load, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "knnbench: -load: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *parallel != "" {
 		widths, err := parseWidths(*parallel)
 		if err != nil {
@@ -134,6 +151,44 @@ func main() {
 		fmt.Println(res.PrecisionTable().Render())
 		figureMetricsEnd(pf, f, before)
 	}
+}
+
+// runLoaded opens a snapshot directory and benchmarks serving directly off
+// it: open+validate latency first (the cold-start the zero-copy format
+// exists for), then sustained queries/s over the standard Gaussian query
+// mix (centers 100±25 per coordinate, matching the synthetic corpora).
+func runLoaded(dir string, seed int64) error {
+	start := time.Now()
+	x, err := shard.OpenDir(dir, shard.OpenOptions{Algorithm: knn.HS})
+	if err != nil {
+		return err
+	}
+	defer x.Close()
+	openLat := time.Since(start)
+	fmt.Printf("opened %s in %v: %d items, dim %d, %d shards\n",
+		dir, openLat.Round(time.Microsecond), x.Len(), x.Dim(), x.Shards())
+
+	rng := rand.New(rand.NewSource(seed))
+	const nq, k = 2000, 10
+	queries := make([]geom.Sphere, nq)
+	for i := range queries {
+		c := make([]float64, x.Dim())
+		for j := range c {
+			c[j] = 100 + rng.NormFloat64()*25
+		}
+		queries[i] = geom.NewSphere(c, rng.Float64()*2)
+	}
+	for i := 0; i < 64; i++ { // warm the mapping and the scratch pools
+		x.Search(queries[i%nq], k)
+	}
+	bstart := time.Now()
+	for _, q := range queries {
+		x.Search(q, k)
+	}
+	el := time.Since(bstart)
+	fmt.Printf("%d queries (k=%d) in %v: %.0f queries/s\n",
+		nq, k, el.Round(time.Millisecond), float64(nq)/el.Seconds())
+	return nil
 }
 
 // parseWidths parses the -parallel value: comma-separated positive pool

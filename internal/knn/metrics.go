@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hyperdom/internal/obs"
+	"hyperdom/internal/packed"
 )
 
 // Traversal-level observability counters (ISSUE 2). The per-query figures
@@ -109,7 +110,7 @@ func flushStats(st *Stats) {
 func (sc *scratch) flushObs(idx Index, algo Algorithm, k int, start time.Time, st *Stats) (traceID uint64) {
 	obsSearches.Inc()
 	sub := subOther
-	switch idx.(type) {
+	switch a := idx.(type) {
 	case ssAdapter:
 		obsSearchSSTree.Inc()
 		sub = subSSTree
@@ -119,6 +120,23 @@ func (sc *scratch) flushObs(idx Index, algo Algorithm, k int, start time.Time, s
 	case rAdapter:
 		obsSearchRTree.Inc()
 		sub = subRTree
+	case packedAdapter:
+		// A loaded snapshot attributes to the substrate that froze it, so
+		// restart-from-snapshot keeps the same metric shape as serve-after-
+		// build (SubstrateUnknown — pre-stamping files — lands in other).
+		switch a.t.Substrate() {
+		case packed.SubstrateSSTree:
+			obsSearchSSTree.Inc()
+			sub = subSSTree
+		case packed.SubstrateMTree:
+			obsSearchMTree.Inc()
+			sub = subMTree
+		case packed.SubstrateRTree:
+			obsSearchRTree.Inc()
+			sub = subRTree
+		default:
+			obsSearchOther.Inc()
+		}
 	default:
 		obsSearchOther.Inc()
 	}

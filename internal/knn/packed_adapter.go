@@ -1,0 +1,22 @@
+package knn
+
+import (
+	"hyperdom/internal/packed"
+)
+
+// packedAdapter serves a packed.Tree directly — typically one loaded from
+// a snapshot file (packed.Open), which has no pointer substrate behind it.
+// frozenOf recognises it, so every search takes the packed traversal.
+type packedAdapter struct{ t *packed.Tree }
+
+// WrapPacked adapts a frozen snapshot for Search. Unlike the substrate
+// adapters there is nothing to thaw: the tree is immutable, and searches
+// are bit-identical to searches over the (frozen) substrate that built it
+// — the traversal dispatches on the snapshot, never on its origin.
+func WrapPacked(t *packed.Tree) Index { return packedAdapter{t} }
+
+// RootNode implements Index. A packed tree has no pointer cursors; the
+// traversals recognise the adapter through frozenOf before consulting
+// RootNode, so this is reached only by code that insists on the pointer
+// path — which must see an empty index rather than a panic.
+func (a packedAdapter) RootNode() (IndexNode, bool) { return nil, false }

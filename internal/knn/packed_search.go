@@ -50,6 +50,8 @@ func frozenOf(idx Index) *packed.Tree {
 		if pt, ok := a.t.Frozen(); ok {
 			return pt
 		}
+	case packedAdapter:
+		return a.t
 	}
 	return nil
 }

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package packed
+
+import (
+	"errors"
+	"os"
+)
+
+// Platforms without syscall.Mmap take the copying load path; Open remains
+// correct, just not zero-copy.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmap(b []byte) error { return nil }

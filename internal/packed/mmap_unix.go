@@ -1,0 +1,19 @@
+//go:build unix
+
+package packed
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared: pages come straight
+// from the page cache, are never copied into the Go heap, and reclaim
+// under memory pressure without the process noticing.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

@@ -69,9 +69,10 @@ func NoteThaw() {
 //   - leaf node i owns items[itemStart[i]:itemStart[i+1]], whose sphere
 //     geometry is mirrored into iCenters/iRadii for the streaming pass.
 type Tree struct {
-	kind Kind
-	dim  int
-	root int32 // -1 for an empty tree
+	kind      Kind
+	dim       int
+	root      int32 // -1 for an empty tree
+	substrate Substrate
 
 	leaf       []bool
 	childStart []int32 // len nodes+1

@@ -18,6 +18,7 @@ func (t *Tree) Freeze() *packed.Tree {
 		return t.frozen
 	}
 	b := packed.NewBuilder(packed.KindRect, t.dim)
+	b.SetSubstrate(packed.SubstrateRTree)
 	if t.root == nil {
 		t.frozen = b.FinishEmpty()
 		return t.frozen

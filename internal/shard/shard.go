@@ -39,6 +39,7 @@ import (
 	"hyperdom/internal/knn"
 	"hyperdom/internal/mtree"
 	"hyperdom/internal/obs"
+	"hyperdom/internal/packed"
 	"hyperdom/internal/rtree"
 	"hyperdom/internal/sstree"
 )
@@ -102,12 +103,14 @@ func (o *Options) fill() {
 	}
 }
 
-// shardState is one shard: its index (frozen when non-empty) and the
-// engine pool that searches it.
+// shardState is one shard: its index (frozen when non-empty), the engine
+// pool that searches it, and — when the shard was built in this process —
+// the packed snapshot backing the frozen index, which SaveDir persists.
 type shardState struct {
-	idx knn.Index
-	eng *engine.Engine
-	n   int
+	idx  knn.Index
+	eng  *engine.Engine
+	n    int
+	snap *packed.Tree
 }
 
 // Index is a sharded scatter-gather kNN index. Build with Build; Close
@@ -118,6 +121,15 @@ type Index struct {
 	dim    int
 	n      int
 	shards []shardState
+
+	// plan is the partition planner's split tree: how space was cut into
+	// shards. SaveDir persists it in the manifest so routing context
+	// survives reload; OpenDir restores it.
+	plan *PlanNode
+
+	// snaps holds the mmap-backed snapshots of an OpenDir index; Close
+	// unmaps them after stopping the engines that search them.
+	snaps []*packed.Snapshot
 
 	// Per-collection latency families, resolved once at build.
 	histSearch *obs.Histogram
@@ -153,10 +165,11 @@ func Build(items []geom.Item, dim int, opts Options) (*Index, error) {
 		histSearch: obs.GetOrNewHistogram("shard.search_latency", `collection="`+opts.Label+`"`),
 		histMerge:  obs.GetOrNewHistogram("shard.merge_latency", `collection="`+opts.Label+`"`),
 	}
-	parts := partition(items, dim, opts.Shards, opts.SampleSize)
+	parts, plan := partition(items, dim, opts.Shards, opts.SampleSize)
+	x.plan = plan
 	x.shards = make([]shardState, len(parts))
 	for i, part := range parts {
-		idx, err := buildTree(opts.Substrate, part, dim, opts.MaxFill)
+		idx, snap, err := buildTree(opts.Substrate, part, dim, opts.MaxFill)
 		if err != nil {
 			for j := 0; j < i; j++ {
 				x.shards[j].eng.Close()
@@ -164,8 +177,9 @@ func Build(items []geom.Item, dim int, opts Options) (*Index, error) {
 			return nil, err
 		}
 		x.shards[i] = shardState{
-			idx: idx,
-			n:   len(part),
+			idx:  idx,
+			n:    len(part),
+			snap: snap,
 			eng: engine.New(idx,
 				engine.WithWorkers(opts.WorkersPerShard),
 				engine.WithCriterion(opts.Criterion),
@@ -205,9 +219,11 @@ func (x *Index) candidateImbalance() float64 {
 	return float64(max) / mean
 }
 
-// buildTree constructs, fills and freezes one shard's substrate. Empty
-// shards stay unfrozen — the pointer path answers them as empty directly.
-func buildTree(substrate string, items []geom.Item, dim, maxFill int) (knn.Index, error) {
+// buildTree constructs, fills and freezes one shard's substrate, returning
+// the adapter plus the frozen snapshot SaveDir persists (an empty shard
+// freezes to an explicit empty snapshot, so a saved directory always has
+// one file per shard).
+func buildTree(substrate string, items []geom.Item, dim, maxFill int) (knn.Index, *packed.Tree, error) {
 	switch substrate {
 	case "sstree":
 		var t *sstree.Tree
@@ -219,10 +235,7 @@ func buildTree(substrate string, items []geom.Item, dim, maxFill int) (knn.Index
 		for _, it := range items {
 			t.Insert(it)
 		}
-		if len(items) > 0 {
-			t.Freeze()
-		}
-		return knn.WrapSSTree(t), nil
+		return knn.WrapSSTree(t), t.Freeze(), nil
 	case "mtree":
 		var t *mtree.Tree
 		if maxFill > 0 {
@@ -233,10 +246,7 @@ func buildTree(substrate string, items []geom.Item, dim, maxFill int) (knn.Index
 		for _, it := range items {
 			t.Insert(it)
 		}
-		if len(items) > 0 {
-			t.Freeze()
-		}
-		return knn.WrapMTree(t), nil
+		return knn.WrapMTree(t), t.Freeze(), nil
 	case "rtree":
 		var t *rtree.Tree
 		if maxFill > 0 {
@@ -247,12 +257,9 @@ func buildTree(substrate string, items []geom.Item, dim, maxFill int) (knn.Index
 		for _, it := range items {
 			t.Insert(it)
 		}
-		if len(items) > 0 {
-			t.Freeze()
-		}
-		return knn.WrapRTree(t), nil
+		return knn.WrapRTree(t), t.Freeze(), nil
 	}
-	return nil, fmt.Errorf("shard: unknown substrate %q", substrate)
+	return nil, nil, fmt.Errorf("shard: unknown substrate %q", substrate)
 }
 
 // Shards returns the shard count.
@@ -276,7 +283,10 @@ func (x *Index) ShardSizes() []int {
 	return out
 }
 
-// Close stops every shard's worker pool. Safe to call more than once.
+// Close stops every shard's worker pool, then releases any snapshot
+// mappings behind an OpenDir index — strictly in that order, because a
+// worker still draining a search must not touch an unmapped page. Safe to
+// call more than once.
 func (x *Index) Close() {
 	if x.unregisterImbl != nil {
 		x.unregisterImbl()
@@ -285,23 +295,47 @@ func (x *Index) Close() {
 	for i := range x.shards {
 		x.shards[i].eng.Close()
 	}
+	for _, s := range x.snaps {
+		s.Close()
+	}
+	x.snaps = nil
 }
+
+// PlanNode is one node of the partition planner's split tree. An internal
+// node records the cut: items whose center[Dim] orders before Cut went
+// left, the rest right (ties broken by ID at plan time). A node with nil
+// Left/Right is a leaf owning shard Shard. SaveDir persists the tree in
+// the manifest — the partitioning is a property of the corpus, and a
+// reloaded index must keep serving (and later route inserts) under the
+// same plan rather than re-derive a different one.
+type PlanNode struct {
+	Dim   int       `json:"dim,omitempty"`
+	Cut   float64   `json:"cut,omitempty"`
+	Shard int       `json:"shard"`
+	Left  *PlanNode `json:"left,omitempty"`
+	Right *PlanNode `json:"right,omitempty"`
+}
+
+// Plan returns the partition planner's split tree (nil only for indexes
+// predating plan capture).
+func (x *Index) Plan() *PlanNode { return x.plan }
 
 // partition splits items into n space-partitioned groups of near-equal
 // size: recursively pick the widest center dimension from a stride sample,
 // sort by (center[dim], ID) and cut proportionally to the shard counts on
 // each side. Deterministic for a given input order, and every group is a
 // contiguous region of space, so a query's candidates concentrate in few
-// shards and the others prune fast off the pushdown bound.
-func partition(items []geom.Item, dim, n, sampleSize int) [][]geom.Item {
+// shards and the others prune fast off the pushdown bound. The returned
+// plan tree records every cut, leaves numbered in shard order.
+func partition(items []geom.Item, dim, n, sampleSize int) ([][]geom.Item, *PlanNode) {
 	work := make([]geom.Item, len(items))
 	copy(work, items)
 	out := make([][]geom.Item, 0, n)
-	var split func(part []geom.Item, n int)
-	split = func(part []geom.Item, n int) {
+	var split func(part []geom.Item, n int) *PlanNode
+	split = func(part []geom.Item, n int) *PlanNode {
 		if n == 1 {
 			out = append(out, part)
-			return
+			return &PlanNode{Shard: len(out) - 1}
 		}
 		d := widestDim(part, dim, sampleSize)
 		sort.Slice(part, func(a, b int) bool {
@@ -313,11 +347,22 @@ func partition(items []geom.Item, dim, n, sampleSize int) [][]geom.Item {
 		})
 		n1 := (n + 1) / 2
 		cut := len(part) * n1 / n
-		split(part[:cut], n1)
-		split(part[cut:], n-n1)
+		// The boundary is the first right-side center value (the last value
+		// overall when everything went left — degenerate tiny parts).
+		var boundary float64
+		switch {
+		case cut < len(part):
+			boundary = part[cut].Sphere.Center[d]
+		case len(part) > 0:
+			boundary = part[len(part)-1].Sphere.Center[d]
+		}
+		node := &PlanNode{Dim: d, Cut: boundary}
+		node.Left = split(part[:cut], n1)
+		node.Right = split(part[cut:], n-n1)
+		return node
 	}
-	split(work, n)
-	return out
+	plan := split(work, n)
+	return out, plan
 }
 
 // widestDim picks the center dimension with the widest spread over a

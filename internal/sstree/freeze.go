@@ -18,6 +18,7 @@ func (t *Tree) Freeze() *packed.Tree {
 		return t.frozen
 	}
 	b := packed.NewBuilder(packed.KindSphere, t.dim)
+	b.SetSubstrate(packed.SubstrateSSTree)
 	if t.root == nil {
 		t.frozen = b.FinishEmpty()
 		return t.frozen

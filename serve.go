@@ -23,6 +23,22 @@ func BuildSharded(items []Item, dim int, opts ShardOptions) (*ShardedIndex, erro
 	return shard.Build(items, dim, opts)
 }
 
+// OpenShardOptions configures OpenSharded. The structural build
+// parameters (substrate, dimensionality, shard count) come from the
+// snapshot directory's manifest; this only picks serving parameters.
+type OpenShardOptions = shard.OpenOptions
+
+// OpenSharded loads a snapshot directory written by ShardedIndex.SaveDir
+// (or datagen -freeze) into a serving index without rebuilding any tree:
+// every shard file is mmapped where the platform supports it and answers
+// are bit-identical to the index that was saved. Close the returned index
+// to stop the pools and unmap the snapshots; result Center slices alias
+// the mapping, so close only after results are no longer in use. See
+// DESIGN.md §16.
+func OpenSharded(dir string, opts OpenShardOptions) (*ShardedIndex, error) {
+	return shard.OpenDir(dir, opts)
+}
+
 // Server is the HTTP+JSON front of the sharded layer: multi-collection
 // routing, kNN and dominance endpoints under /v1/collections/{name}/, and
 // the obs exposition (/metrics, /debug) mounted beside them. See
